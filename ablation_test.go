@@ -1,0 +1,132 @@
+// Ablation benchmarks for the design parameters DESIGN.md §7 calls out:
+// the guard's per-message processing latency, the host-accelerator
+// crossing latency (which sets the host-side-cache crossover), and the
+// permission-based snoop filtering of §3.2.
+package crossingguard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/perm"
+	"crossingguard/internal/sim"
+	"crossingguard/internal/workload"
+)
+
+// BenchmarkA1_GuardLatency sweeps the guard's processing latency: the
+// paper's claim that the guard adds negligible overhead holds only while
+// this stays small relative to the crossing.
+func BenchmarkA1_GuardLatency(b *testing.B) {
+	for _, gl := range []sim.Time{0, 4, 16, 64} {
+		gl := gl
+		b.Run(fmt.Sprintf("guardlat_%d", gl), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				lat := config.DefaultLatencies()
+				lat.GuardLat = gl
+				cfg := workload.DefaultConfig(workload.Blocked)
+				cfg.AccessesPerCore = 800
+				sys := config.Build(config.Spec{Host: config.HostMESI, Org: config.OrgXGFull1L,
+					CPUs: 2, AccelCores: 1, Seed: int64(i + 31), Lat: &lat,
+					Perms: workload.Perms(cfg)})
+				res, err := workload.Run(sys, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += float64(res.Cycles)
+			}
+			b.ReportMetric(cycles/float64(b.N), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkA2_CrossingLatency sweeps the host<->accelerator distance: as
+// the crossing shrinks, the host-side cache catches up; as it grows, the
+// accelerator-side cache (and the guard, which preserves its hit
+// locality) pull away.
+func BenchmarkA2_CrossingLatency(b *testing.B) {
+	for _, cl := range []sim.Time{20, 80, 320} {
+		for _, org := range []config.Org{config.OrgHostSide, config.OrgXGFull1L} {
+			cl, org := cl, org
+			b.Run(fmt.Sprintf("cross_%d/%v", cl, org), func(b *testing.B) {
+				var cycles float64
+				for i := 0; i < b.N; i++ {
+					lat := config.DefaultLatencies()
+					lat.Crossing = cl
+					cfg := workload.DefaultConfig(workload.Blocked)
+					cfg.AccessesPerCore = 800
+					sys := config.Build(config.Spec{Host: config.HostMESI, Org: org,
+						CPUs: 2, AccelCores: 1, Seed: int64(i + 37), Lat: &lat,
+						Perms: workload.Perms(cfg)})
+					res, err := workload.Run(sys, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += float64(res.Cycles)
+				}
+				b.ReportMetric(cycles/float64(b.N), "sim-cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkA3_SnoopFilter ablates the §3.2 permission-based snoop filter
+// on the broadcast (Hammer) host with a Transactional guard: without
+// permissions the guard must consult the accelerator for every broadcast
+// it cannot deduce; with them, CPU-private traffic never crosses.
+func BenchmarkA3_SnoopFilter(b *testing.B) {
+	for _, withPerms := range []bool{false, true} {
+		withPerms := withPerms
+		name := "no-perms"
+		if withPerms {
+			name = "with-perms"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles, consults float64
+			for i := 0; i < b.N; i++ {
+				cfg := workload.DefaultConfig(workload.Blocked)
+				cfg.AccessesPerCore = 800
+				var perms *perm.Table
+				if withPerms {
+					perms = workload.Perms(cfg)
+				}
+				sys := config.Build(config.Spec{Host: config.HostHammer, Org: config.OrgXGTxn1L,
+					CPUs: 2, AccelCores: 1, Seed: int64(i + 41), Perms: perms})
+				res, err := workload.Run(sys, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += float64(res.Cycles)
+				consults += float64(res.SnoopsForwarded)
+			}
+			b.ReportMetric(cycles/float64(b.N), "sim-cycles")
+			b.ReportMetric(consults/float64(b.N), "accel-consults")
+		})
+	}
+}
+
+// BenchmarkA4_TwoLevelSharing ablates the shared accelerator L2 (Fig. 2d
+// vs per-core guards, Fig. 2c) on a kernel with cross-core reuse.
+func BenchmarkA4_TwoLevelSharing(b *testing.B) {
+	for _, org := range []config.Org{config.OrgXGFull1L, config.OrgXGFull2L} {
+		org := org
+		b.Run(org.String(), func(b *testing.B) {
+			var cycles, boundary float64
+			for i := 0; i < b.N; i++ {
+				cfg := workload.DefaultConfig(workload.Streaming) // co-read input
+				cfg.AccessesPerCore = 1200
+				sys := config.Build(config.Spec{Host: config.HostMESI, Org: org,
+					CPUs: 2, AccelCores: 2, Seed: int64(i + 43), Perms: workload.Perms(cfg)})
+				res, err := workload.Run(sys, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += float64(res.Cycles)
+				boundary += float64(res.CrossingBytes)
+			}
+			b.ReportMetric(cycles/float64(b.N), "sim-cycles")
+			b.ReportMetric(boundary/float64(b.N), "boundary-bytes")
+		})
+	}
+}

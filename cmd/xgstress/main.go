@@ -1,0 +1,132 @@
+// Command xgstress runs the paper's §4.1 protocol stress test (E3): the
+// random load/store/check tester against all twelve cache organizations,
+// with shrunken caches so replacements and races are frequent, reporting
+// operations completed, data checks, and per-controller state/event
+// coverage — the same accounting the paper used over its 22 compute-years
+// of testing, at laptop scale.
+//
+// Usage:
+//
+//	xgstress [-seeds N] [-stores N] [-cpus N] [-cores N] [-coverage]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"crossingguard/internal/accel"
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/config"
+	"crossingguard/internal/hostproto/hammer"
+	"crossingguard/internal/hostproto/mesi"
+	"crossingguard/internal/tester"
+)
+
+var (
+	seeds    = flag.Int("seeds", 5, "random seeds per configuration")
+	stores   = flag.Int("stores", 100, "store/check rounds per location")
+	cpus     = flag.Int("cpus", 2, "CPU cores")
+	cores    = flag.Int("cores", 2, "accelerator cores")
+	coverage = flag.Bool("coverage", true, "print state/event coverage")
+)
+
+func main() {
+	flag.Parse()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "E3: random protocol stress test (paper §4.1)")
+	fmt.Fprintln(w, "configuration\tseeds\tstores\tchecked loads\terrors\tresult")
+
+	// Aggregate coverage across every run, by controller class.
+	covs := map[string]*coherence.Coverage{}
+	record := func(sys *config.System) {
+		for _, l1 := range sys.AccelL1s {
+			covGet(covs, "accel.L1", accel.NewTable1Coverage).Merge(l1.Cov)
+		}
+		for _, il := range sys.InnerL1s {
+			covGet(covs, "accel2L.L1", accel.NewInnerL1Coverage).Merge(il.Cov)
+		}
+		if sys.AccelL2 != nil {
+			covGet(covs, "accel2L.L2", accel.NewSharedL2Coverage).Merge(sys.AccelL2.Cov)
+		}
+		for _, c := range sys.HCaches {
+			covGet(covs, "hammer.cache", hammer.NewCacheCoverage).Merge(c.Cov)
+		}
+		for _, c := range sys.AccelHCaches {
+			covGet(covs, "hammer.cache", hammer.NewCacheCoverage).Merge(c.Cov)
+		}
+		if sys.HDir != nil {
+			covGet(covs, "hammer.dir", hammer.NewDirectoryCoverage).Merge(sys.HDir.Cov)
+		}
+		for _, c := range sys.ML1s {
+			covGet(covs, "mesi.L1", mesi.NewL1Coverage).Merge(c.Cov)
+		}
+		for _, c := range sys.AccelMCaches {
+			covGet(covs, "mesi.L1", mesi.NewL1Coverage).Merge(c.Cov)
+		}
+		if sys.ML2 != nil {
+			covGet(covs, "mesi.L2", mesi.NewL2Coverage).Merge(sys.ML2.Cov)
+		}
+	}
+
+	failures := 0
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range config.AllOrgs {
+			var tot tester.Result
+			var failed error
+			for seed := int64(1); seed <= int64(*seeds); seed++ {
+				sys := config.Build(config.Spec{Host: host, Org: org,
+					CPUs: *cpus, AccelCores: *cores, Seed: seed * 97, Small: true})
+				cfg := tester.DefaultConfig(seed * 131)
+				cfg.StoresPerLoc = *stores
+				cfg.Deadline = 400_000_000
+				res, err := tester.Run(sys, cfg)
+				tot.Stores += res.Stores
+				tot.Loads += res.Loads
+				tot.LoadChecks += res.LoadChecks
+				if err == nil && sys.Log.Count() != 0 {
+					err = fmt.Errorf("protocol errors reported: %v", sys.Log.Errors[0])
+				}
+				if err != nil {
+					failed = err
+					break
+				}
+				record(sys)
+			}
+			verdict := "PASS"
+			if failed != nil {
+				verdict = "FAIL: " + failed.Error()
+				failures++
+			}
+			fmt.Fprintf(w, "%v/%v\t%d\t%d\t%d\t0\t%s\n", host, org, *seeds, tot.Stores, tot.LoadChecks, verdict)
+		}
+	}
+	w.Flush()
+
+	if *coverage {
+		fmt.Println("\nstate/event coverage (visited pairs / declared-possible pairs):")
+		for _, name := range []string{"accel.L1", "accel2L.L1", "accel2L.L2",
+			"hammer.cache", "hammer.dir", "mesi.L1", "mesi.L2"} {
+			if c, ok := covs[name]; ok {
+				fmt.Println("  " + c.Summary())
+				if len(c.Unexpected) > 0 {
+					fmt.Printf("  !! %s visited undeclared transitions: %v\n", name, c.Unexpected[:1])
+					failures++
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func covGet(m map[string]*coherence.Coverage, name string, fresh func() *coherence.Coverage) *coherence.Coverage {
+	if c, ok := m[name]; ok {
+		return c
+	}
+	c := fresh()
+	m[name] = c
+	return c
+}

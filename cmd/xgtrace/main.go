@@ -1,0 +1,109 @@
+// Command xgtrace runs a chosen configuration under a small workload and
+// prints the coherence-message trace — optionally filtered to a single
+// cache line — the debugging view protocol engineers actually use. It is
+// the same tracing facility the stress tests dump on failure.
+//
+// Usage:
+//
+//	xgtrace [-host hammer|mesi] [-org xg-full/1L|...] [-kind graph|...]
+//	        [-watch 0xADDR] [-accesses N] [-tail N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/workload"
+)
+
+var (
+	hostFlag = flag.String("host", "mesi", "host protocol: hammer or mesi")
+	orgFlag  = flag.String("org", "xg-full/1L", "organization (see config.AllOrgs)")
+	kindFlag = flag.String("kind", "graph", "workload kind")
+	watch    = flag.String("watch", "", "hex line address to filter (e.g. 0x100040)")
+	accesses = flag.Int("accesses", 200, "accelerator accesses per core")
+	tailN    = flag.Int("tail", 120, "print at most the last N matching lines")
+)
+
+func main() {
+	flag.Parse()
+
+	host := config.HostMESI
+	if *hostFlag == "hammer" {
+		host = config.HostHammer
+	}
+	var org config.Org
+	found := false
+	for _, o := range config.AllOrgs {
+		if o.String() == *orgFlag {
+			org, found = o, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "xgtrace: unknown org %q; options:", *orgFlag)
+		for _, o := range config.AllOrgs {
+			fmt.Fprintf(os.Stderr, " %v", o)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	var kind workload.Kind
+	found = false
+	for _, k := range workload.AllKinds {
+		if k.String() == *kindFlag {
+			kind, found = k, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "xgtrace: unknown kind %q\n", *kindFlag)
+		os.Exit(2)
+	}
+
+	cfg := workload.DefaultConfig(kind)
+	cfg.AccessesPerCore = *accesses
+	sys := config.Build(config.Spec{Host: host, Org: org, CPUs: 2, AccelCores: 2,
+		Seed: 1, Perms: workload.Perms(cfg)})
+	sys.Fab.Trace = network.NewTrace(500_000)
+
+	res, err := workload.Run(sys, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xgtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	var filter string
+	if *watch != "" {
+		a, err := strconv.ParseUint(strings.TrimPrefix(*watch, "0x"), 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xgtrace: bad -watch address: %v\n", err)
+			os.Exit(2)
+		}
+		filter = mem.Addr(a).Line().String() + " "
+	}
+
+	var lines []string
+	for _, l := range strings.Split(sys.Fab.Trace.Dump(), "\n") {
+		if l == "" || !strings.Contains(l, "RECV") {
+			continue // one line per delivery keeps the view readable
+		}
+		if filter != "" && !strings.Contains(l, filter) {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) > *tailN {
+		fmt.Printf("... (%d earlier deliveries elided)\n", len(lines)-*tailN)
+		lines = lines[len(lines)-*tailN:]
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Printf("\n%v/%v/%v: %d accel accesses in %d ticks; avg latency %.1f; %d deliveries traced\n",
+		host, org, kind, res.AccelAccesses, res.Cycles, res.AccelAvgLat, sys.Fab.Trace.Total/2)
+}

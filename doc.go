@@ -1,0 +1,36 @@
+// Package crossingguard is a from-scratch Go reproduction of
+//
+//	Lena E. Olson, Mark D. Hill, David A. Wood.
+//	"Crossing Guard: Mediating Host-Accelerator Coherence Interactions."
+//	ASPLOS 2017.
+//
+// Crossing Guard is trusted host hardware that gives third-party
+// accelerators a tiny, standardized coherence interface (five requests,
+// four responses out; one request, three responses back) and translates
+// it to the host's real coherence protocol, while guaranteeing that even
+// a pathologically buggy or malicious accelerator can never crash,
+// deadlock, or corrupt the host coherence system.
+//
+// The repository contains a deterministic discrete-event coherence
+// simulator with two host protocols (an AMD-Hammer-like exclusive MOESI
+// broadcast protocol and an inclusive MESI two-level protocol), the
+// Crossing Guard itself in Full State and Transactional variants, two
+// accelerator cache hierarchies that speak the interface, a Border-
+// Control-style page-permission substrate, the paper's random protocol
+// stress tester and guard fuzzer, synthetic GPGPU-style workloads, and a
+// benchmark harness that regenerates every table and figure of the
+// evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Start with the runnable examples:
+//
+//	go run ./examples/quickstart     // build a system, share data across the boundary
+//	go run ./examples/videodecoder   // a streaming accelerator behind the guard
+//	go run ./examples/graphanalytics // data-dependent accesses on the 2-level hierarchy
+//	go run ./examples/buggyaccel     // watch the guard contain a malicious accelerator
+//
+// and the evaluation drivers:
+//
+//	go run ./cmd/xgsim      // performance tables and figures (E1, E2, E5-E10)
+//	go run ./cmd/xgstress   // the paper's random protocol stress test (E3)
+//	go run ./cmd/xgfuzz     // the paper's guard fuzz testing (E4)
+package crossingguard

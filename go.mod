@@ -1,0 +1,3 @@
+module crossingguard
+
+go 1.22

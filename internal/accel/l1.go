@@ -1,0 +1,362 @@
+package accel
+
+import (
+	"fmt"
+
+	"crossingguard/internal/cacheset"
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/sim"
+)
+
+// aLine is the payload of one accelerator L1 line.
+type aLine struct {
+	state AState
+	data  *mem.Block
+	// fromGet records what the outstanding request was (B has a single
+	// name but, as the paper notes for host protocols too, transients
+	// may carry extra information).
+	op *coherence.Msg
+}
+
+// L1Cache is the single-level accelerator cache of paper Table 1:
+// MESI stable states, a single transient state B, five requests out,
+// four responses in, one host request (Inv), three responses out.
+type L1Cache struct {
+	id   coherence.NodeID
+	name string
+	eng  *sim.Engine
+	fab  *network.Fabric
+	cfg  Config
+	xg   coherence.NodeID // the Crossing Guard endpoint
+
+	cache      *cacheset.Cache[aLine]
+	wb         map[mem.Addr]*aLine // put-origin B entries
+	waitingOps map[mem.Addr][]*coherence.Msg
+	stalledOps []*coherence.Msg
+
+	// Cov records (state, event) coverage; its declaration set IS
+	// paper Table 1, so unexpected transitions fail conformance.
+	Cov *coherence.Coverage
+}
+
+// NewL1Cache builds and registers a Table 1 accelerator cache.
+func NewL1Cache(id coherence.NodeID, name string, eng *sim.Engine, fab *network.Fabric,
+	xg coherence.NodeID, cfg Config) *L1Cache {
+	c := &L1Cache{
+		id: id, name: name, eng: eng, fab: fab, cfg: cfg, xg: xg,
+		cache:      cacheset.New[aLine](cfg.L1Sets, cfg.L1Ways),
+		wb:         make(map[mem.Addr]*aLine),
+		waitingOps: make(map[mem.Addr][]*coherence.Msg),
+		Cov:        NewTable1Coverage(),
+	}
+	fab.Register(c)
+	return c
+}
+
+// NewTable1Coverage declares exactly the transitions of paper Table 1.
+func NewTable1Coverage() *coherence.Coverage {
+	cov := coherence.NewCoverage("accel.L1")
+	for _, p := range Table1Pairs() {
+		cov.Declare(p[0], p[1])
+	}
+	return cov
+}
+
+// Table1Pairs returns the (state, event) pairs paper Table 1 defines
+// (every cell that is not "impossible").
+func Table1Pairs() [][2]string {
+	var pairs [][2]string
+	add := func(s string, evs ...string) {
+		for _, e := range evs {
+			pairs = append(pairs, [2]string{s, e})
+		}
+	}
+	add("M", evLoad, evStore, evReplacement, "A:Inv")
+	add("E", evLoad, evStore, evReplacement, "A:Inv")
+	add("S", evLoad, evStore, evReplacement, "A:Inv")
+	add("I", evLoad, evStore, "A:Inv")
+	add("B", evLoad, evStore, evReplacement, "A:Inv", "A:DataM", "A:DataE", "A:DataS", "A:WBAck")
+	return pairs
+}
+
+// ID implements coherence.Controller.
+func (c *L1Cache) ID() coherence.NodeID { return c.id }
+
+// Name implements coherence.Controller.
+func (c *L1Cache) Name() string { return c.name }
+
+// Recv implements coherence.Controller.
+func (c *L1Cache) Recv(m *coherence.Msg) {
+	switch m.Type {
+	case coherence.ReqLoad, coherence.ReqStore:
+		c.handleCPU(m)
+	case coherence.ADataS, coherence.ADataE, coherence.ADataM:
+		c.handleData(m)
+	case coherence.AWBAck:
+		c.handleWBAck(m)
+	case coherence.AInv:
+		c.handleInv(m)
+	default:
+		panic(fmt.Sprintf("%s: unexpected %v", c.name, m))
+	}
+}
+
+func (c *L1Cache) send(m *coherence.Msg) { c.fab.Send(m) }
+
+// --- accelerator-core side ---
+
+func (c *L1Cache) handleCPU(m *coherence.Msg) {
+	line := m.Addr.Line()
+	if _, busy := c.wb[line]; busy {
+		// Table 1: B stalls loads, stores, and replacements.
+		c.Cov.Record("B", opEv(m))
+		c.waitingOps[line] = append(c.waitingOps[line], m)
+		return
+	}
+	e := c.cache.Lookup(m.Addr)
+	if e != nil && e.V.state == AB {
+		c.Cov.Record("B", opEv(m))
+		c.waitingOps[line] = append(c.waitingOps[line], m)
+		return
+	}
+	isStore := m.Type == coherence.ReqStore
+	if e == nil {
+		c.Cov.Record("I", opEv(m))
+		e = c.allocate(m)
+		if e == nil {
+			return
+		}
+		// I + Load -> issue GetS / B ;  I + Store -> issue GetM / B.
+		// A VI-flavored cache issues only GetM (paper §2.1).
+		ty := coherence.AGetS
+		if isStore || c.cfg.Flavor == FlavorVI {
+			ty = coherence.AGetM
+		}
+		e.V.state = AB
+		e.V.op = m
+		c.send(&coherence.Msg{Type: ty, Addr: line, Src: c.id, Dst: c.xg})
+		return
+	}
+	st := e.V.state
+	c.Cov.Record(st.String(), opEv(m))
+	switch {
+	case !isStore: // Load hit in M/E/S.
+		c.respond(m, e.V.data[m.Addr.Offset()])
+	case st == AM:
+		e.V.data[m.Addr.Offset()] = m.Val
+		c.respond(m, 0)
+	case st == AE:
+		// E + Store -> hit / M (silent upgrade).
+		e.V.state = AM
+		e.V.data[m.Addr.Offset()] = m.Val
+		c.respond(m, 0)
+	case st == AS:
+		// S + Store -> issue GetM / B.
+		e.V.state = AB
+		e.V.op = m
+		c.send(&coherence.Msg{Type: coherence.AGetM, Addr: line, Src: c.id, Dst: c.xg})
+	}
+}
+
+func (c *L1Cache) allocate(m *coherence.Msg) *cacheset.Entry[aLine] {
+	e, victim, ok := c.cache.Allocate(m.Addr, func(e *cacheset.Entry[aLine]) bool {
+		return e.V.state.Stable()
+	})
+	if !ok {
+		c.stalledOps = append(c.stalledOps, m)
+		return nil
+	}
+	if victim != nil {
+		c.evict(victim.Addr, &victim.V)
+	}
+	e.V = aLine{state: AI}
+	return e
+}
+
+// evict issues the replacement row of Table 1: PutM from M, PutE from E,
+// PutS from S — Put data rides along (no multi-phase commit).
+func (c *L1Cache) evict(addr mem.Addr, v *aLine) {
+	c.Cov.Record(v.state.String(), evReplacement)
+	var ty coherence.MsgType
+	var data *mem.Block
+	switch v.state {
+	case AM:
+		ty, data = coherence.APutM, v.data.Copy()
+	case AE:
+		ty, data = coherence.APutE, v.data.Copy()
+		if c.cfg.Flavor == FlavorMSI || c.cfg.Flavor == FlavorVI {
+			ty = coherence.APutM // degraded designs send only dirty Puts
+		}
+	case AS:
+		ty = coherence.APutS
+	default:
+		panic(fmt.Sprintf("%s: evicting %v", c.name, v.state))
+	}
+	c.wb[addr] = &aLine{state: AB, data: v.data}
+	c.send(&coherence.Msg{Type: ty, Addr: addr, Src: c.id, Dst: c.xg, Data: data,
+		Dirty: ty == coherence.APutM})
+}
+
+func (c *L1Cache) respond(op *coherence.Msg, val byte) {
+	ty := coherence.RespLoad
+	if op.Type == coherence.ReqStore {
+		ty = coherence.RespStore
+	}
+	c.eng.Schedule(c.cfg.HitLat, func() {
+		c.fab.Send(&coherence.Msg{Type: ty, Addr: op.Addr, Src: c.id, Dst: op.Src,
+			Val: val, Tag: op.Tag})
+	})
+}
+
+// --- Crossing Guard side ---
+
+func (c *L1Cache) handleData(m *coherence.Msg) {
+	e := c.cache.Peek(m.Addr)
+	if e == nil || e.V.state != AB || e.V.op == nil {
+		panic(fmt.Sprintf("%s: data %v with no pending get", c.name, m))
+	}
+	c.Cov.Record("B", evName(m.Type))
+	st := AS
+	switch m.Type {
+	case coherence.ADataM:
+		st = AM
+	case coherence.ADataE:
+		st = AE
+		// Degraded designs treat DataE as DataM (paper §2.1).
+		if c.cfg.Flavor == FlavorMSI || c.cfg.Flavor == FlavorVI {
+			st = AM
+		}
+	}
+	op := e.V.op
+	e.V.state = st
+	e.V.data = m.Data.Copy()
+	e.V.op = nil
+	if op.Type == coherence.ReqStore {
+		if st == AS {
+			// DataS answered our GetM? The interface forbids it; only a
+			// buggy guard could do this.
+			panic(fmt.Sprintf("%s: DataS for a store at %v", c.name, m.Addr))
+		}
+		if st == AE {
+			e.V.state = AM
+		}
+		e.V.data[op.Addr.Offset()] = op.Val
+		c.respond(op, 0)
+	} else {
+		c.respond(op, e.V.data[op.Addr.Offset()])
+	}
+	c.settled(m.Addr.Line())
+}
+
+func (c *L1Cache) handleWBAck(m *coherence.Msg) {
+	line := m.Addr.Line()
+	if _, ok := c.wb[line]; !ok {
+		panic(fmt.Sprintf("%s: WBAck with no writeback: %v", c.name, m))
+	}
+	c.Cov.Record("B", evName(m.Type))
+	delete(c.wb, line)
+	c.settled(line)
+}
+
+// handleInv implements the Invalidate column of Table 1.
+func (c *L1Cache) handleInv(m *coherence.Msg) {
+	line := m.Addr.Line()
+	if wl, ok := c.wb[line]; ok {
+		// B (put outstanding): send InvAck, take no further action;
+		// Crossing Guard resolves the Put/Inv race.
+		_ = wl
+		c.Cov.Record("B", evName(m.Type))
+		c.sendToXG(coherence.AInvAck, line, nil, false)
+		return
+	}
+	e := c.cache.Peek(m.Addr)
+	if e == nil {
+		c.Cov.Record("I", evName(m.Type))
+		c.sendToXG(coherence.AInvAck, line, nil, false)
+		return
+	}
+	c.Cov.Record(e.V.state.String(), evName(m.Type))
+	switch e.V.state {
+	case AM:
+		c.sendToXG(coherence.ADirtyWB, line, e.V.data.Copy(), true)
+		c.cache.Invalidate(m.Addr)
+		c.settled(line)
+	case AE:
+		c.sendToXG(coherence.ACleanWB, line, e.V.data.Copy(), false)
+		c.cache.Invalidate(m.Addr)
+		c.settled(line)
+	case AS:
+		c.sendToXG(coherence.AInvAck, line, nil, false)
+		c.cache.Invalidate(m.Addr)
+		c.settled(line)
+	case AB:
+		c.sendToXG(coherence.AInvAck, line, nil, false)
+	}
+}
+
+func (c *L1Cache) sendToXG(ty coherence.MsgType, line mem.Addr, data *mem.Block, dirty bool) {
+	c.send(&coherence.Msg{Type: ty, Addr: line, Src: c.id, Dst: c.xg, Data: data, Dirty: dirty})
+}
+
+func (c *L1Cache) settled(line mem.Addr) {
+	if q := c.waitingOps[line]; len(q) > 0 {
+		next := q[0]
+		if len(q) == 1 {
+			delete(c.waitingOps, line)
+		} else {
+			c.waitingOps[line] = q[1:]
+		}
+		c.eng.Schedule(0, func() { c.handleCPU(next) })
+	}
+	if len(c.stalledOps) > 0 {
+		stalled := c.stalledOps
+		c.stalledOps = nil
+		for _, op := range stalled {
+			op := op
+			c.eng.Schedule(0, func() { c.handleCPU(op) })
+		}
+	}
+}
+
+// Outstanding reports open transactions.
+func (c *L1Cache) Outstanding() int {
+	n := len(c.wb) + len(c.stalledOps)
+	for _, q := range c.waitingOps {
+		n += len(q)
+	}
+	c.cache.Visit(func(e *cacheset.Entry[aLine]) {
+		if e.V.state == AB {
+			n++
+		}
+	})
+	return n
+}
+
+// AuditLine reports the stable view for invariant checks.
+func (c *L1Cache) AuditLine(addr mem.Addr) (present bool, st AState, data *mem.Block) {
+	e := c.cache.Peek(addr)
+	if e == nil || e.V.state == AB || e.V.state == AI {
+		return false, AI, nil
+	}
+	return true, e.V.state, e.V.data
+}
+
+func opEv(m *coherence.Msg) string {
+	if m.Type == coherence.ReqStore {
+		return evStore
+	}
+	return evLoad
+}
+
+func evName(t coherence.MsgType) string { return t.String() }
+
+// VisitStable reports every stable valid line for invariant checks.
+func (c *L1Cache) VisitStable(fn func(addr mem.Addr, st AState, data *mem.Block)) {
+	c.cache.Visit(func(e *cacheset.Entry[aLine]) {
+		if e.V.state.Stable() && e.V.state != AI {
+			fn(e.Addr, e.V.state, e.V.data)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package accel
+
+import (
+	"fmt"
+
+	"crossingguard/internal/cacheset"
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/sim"
+)
+
+// The two-level accelerator hierarchy of paper Figure 2d: private MSI L1s
+// per accelerator core behind a shared, inclusive accelerator L2. Only
+// the L2 speaks the Crossing Guard interface, so data moves between
+// accelerator cores without crossing to the host — the paper's
+// demonstration that the interface "does not constrain cache design in
+// terms of inclusivity or number of levels" (§2.4). The internal protocol
+// is deliberately different from both host protocols: MSI, L2-serialized,
+// with invalidation acks collected at the L2.
+
+// --- private accelerator L1 (MSI + B) ---
+
+// InnerState is the accelerator-internal L1 line state.
+type InnerState int
+
+const (
+	NI InnerState = iota
+	NS
+	NM
+	NB
+)
+
+func (s InnerState) String() string { return [...]string{"I", "S", "M", "B"}[s] }
+
+type innerLine struct {
+	state InnerState
+	data  *mem.Block
+	op    *coherence.Msg
+}
+
+// InnerL1 is one accelerator core's private L1 in the two-level design.
+type InnerL1 struct {
+	id   coherence.NodeID
+	name string
+	eng  *sim.Engine
+	fab  *network.Fabric
+	cfg  Config
+	l2   coherence.NodeID
+
+	cache      *cacheset.Cache[innerLine]
+	wb         map[mem.Addr]*innerLine
+	waitingOps map[mem.Addr][]*coherence.Msg
+	stalledOps []*coherence.Msg
+
+	Cov *coherence.Coverage
+}
+
+// NewInnerL1 builds and registers a private accelerator L1.
+func NewInnerL1(id coherence.NodeID, name string, eng *sim.Engine, fab *network.Fabric,
+	l2 coherence.NodeID, cfg Config) *InnerL1 {
+	c := &InnerL1{
+		id: id, name: name, eng: eng, fab: fab, cfg: cfg, l2: l2,
+		cache:      cacheset.New[innerLine](cfg.L1Sets, cfg.L1Ways),
+		wb:         make(map[mem.Addr]*innerLine),
+		waitingOps: make(map[mem.Addr][]*coherence.Msg),
+		Cov:        NewInnerL1Coverage(),
+	}
+	fab.Register(c)
+	return c
+}
+
+// NewInnerL1Coverage declares reachable (state, event) pairs.
+func NewInnerL1Coverage() *coherence.Coverage {
+	cov := coherence.NewCoverage("accel2L.L1")
+	cov.DeclareAll([]string{"I", "S", "M", "B"},
+		[]string{evLoad, evStore, evReplacement, "X:Inv", "X:DataS", "X:DataM", "X:WBAck"})
+	return cov
+}
+
+// ID implements coherence.Controller.
+func (c *InnerL1) ID() coherence.NodeID { return c.id }
+
+// Name implements coherence.Controller.
+func (c *InnerL1) Name() string { return c.name }
+
+// Recv implements coherence.Controller.
+func (c *InnerL1) Recv(m *coherence.Msg) {
+	switch m.Type {
+	case coherence.ReqLoad, coherence.ReqStore:
+		c.handleCPU(m)
+	case coherence.XDataS, coherence.XDataM:
+		c.handleData(m)
+	case coherence.XWBAck:
+		c.handleWBAck(m)
+	case coherence.XInv:
+		c.handleInv(m)
+	default:
+		panic(fmt.Sprintf("%s: unexpected %v", c.name, m))
+	}
+}
+
+func (c *InnerL1) send(m *coherence.Msg) { c.fab.Send(m) }
+
+func (c *InnerL1) handleCPU(m *coherence.Msg) {
+	line := m.Addr.Line()
+	if _, busy := c.wb[line]; busy {
+		c.Cov.Record("B", opEv(m))
+		c.waitingOps[line] = append(c.waitingOps[line], m)
+		return
+	}
+	e := c.cache.Lookup(m.Addr)
+	if e != nil && e.V.state == NB {
+		c.Cov.Record("B", opEv(m))
+		c.waitingOps[line] = append(c.waitingOps[line], m)
+		return
+	}
+	isStore := m.Type == coherence.ReqStore
+	if e == nil {
+		c.Cov.Record("I", opEv(m))
+		var victim *cacheset.Entry[innerLine]
+		var ok bool
+		e, victim, ok = c.cache.Allocate(m.Addr, func(e *cacheset.Entry[innerLine]) bool {
+			return e.V.state != NB
+		})
+		if !ok {
+			c.stalledOps = append(c.stalledOps, m)
+			return
+		}
+		if victim != nil {
+			c.evict(victim.Addr, &victim.V)
+		}
+		ty := coherence.XGetS
+		if isStore {
+			ty = coherence.XGetM
+		}
+		e.V = innerLine{state: NB, op: m}
+		c.send(&coherence.Msg{Type: ty, Addr: line, Src: c.id, Dst: c.l2})
+		return
+	}
+	c.Cov.Record(e.V.state.String(), opEv(m))
+	switch {
+	case !isStore:
+		c.respond(m, e.V.data[m.Addr.Offset()])
+	case e.V.state == NM:
+		e.V.data[m.Addr.Offset()] = m.Val
+		c.respond(m, 0)
+	default: // store to S: upgrade
+		e.V.state = NB
+		e.V.op = m
+		c.send(&coherence.Msg{Type: coherence.XGetM, Addr: line, Src: c.id, Dst: c.l2})
+	}
+}
+
+func (c *InnerL1) evict(addr mem.Addr, v *innerLine) {
+	c.Cov.Record(v.state.String(), evReplacement)
+	switch v.state {
+	case NM:
+		c.wb[addr] = &innerLine{state: NB, data: v.data}
+		c.send(&coherence.Msg{Type: coherence.XPutM, Addr: addr, Src: c.id, Dst: c.l2,
+			Data: v.data.Copy(), Dirty: true})
+	case NS:
+		c.send(&coherence.Msg{Type: coherence.XPutS, Addr: addr, Src: c.id, Dst: c.l2})
+	default:
+		panic(fmt.Sprintf("%s: evicting %v", c.name, v.state))
+	}
+}
+
+func (c *InnerL1) respond(op *coherence.Msg, val byte) {
+	ty := coherence.RespLoad
+	if op.Type == coherence.ReqStore {
+		ty = coherence.RespStore
+	}
+	c.eng.Schedule(c.cfg.HitLat, func() {
+		c.fab.Send(&coherence.Msg{Type: ty, Addr: op.Addr, Src: c.id, Dst: op.Src,
+			Val: val, Tag: op.Tag})
+	})
+}
+
+func (c *InnerL1) handleData(m *coherence.Msg) {
+	e := c.cache.Peek(m.Addr)
+	if e == nil || e.V.state != NB || e.V.op == nil {
+		panic(fmt.Sprintf("%s: data with no pending get: %v", c.name, m))
+	}
+	c.Cov.Record("B", evName(m.Type))
+	op := e.V.op
+	e.V.op = nil
+	e.V.data = m.Data.Copy()
+	if m.Type == coherence.XDataM {
+		e.V.state = NM
+	} else {
+		e.V.state = NS
+	}
+	if op.Type == coherence.ReqStore {
+		if e.V.state != NM {
+			panic(fmt.Sprintf("%s: DataS answered a store at %v", c.name, m.Addr))
+		}
+		e.V.data[op.Addr.Offset()] = op.Val
+		c.respond(op, 0)
+	} else {
+		c.respond(op, e.V.data[op.Addr.Offset()])
+	}
+	c.settled(m.Addr.Line())
+}
+
+func (c *InnerL1) handleWBAck(m *coherence.Msg) {
+	line := m.Addr.Line()
+	if _, ok := c.wb[line]; !ok {
+		panic(fmt.Sprintf("%s: WBAck with no writeback", c.name))
+	}
+	c.Cov.Record("B", evName(m.Type))
+	delete(c.wb, line)
+	c.settled(line)
+}
+
+func (c *InnerL1) handleInv(m *coherence.Msg) {
+	line := m.Addr.Line()
+	if _, busy := c.wb[line]; busy {
+		// Our PutM crossed the L2's Inv; the L2 absorbs the Put as the
+		// response and ignores this ack.
+		c.Cov.Record("B", evName(m.Type))
+		c.send(&coherence.Msg{Type: coherence.XInvAck, Addr: line, Src: c.id, Dst: c.l2})
+		return
+	}
+	e := c.cache.Peek(m.Addr)
+	st := NI
+	if e != nil {
+		st = e.V.state
+	}
+	c.Cov.Record(st.String(), evName(m.Type))
+	switch st {
+	case NM:
+		c.send(&coherence.Msg{Type: coherence.XInvWB, Addr: line, Src: c.id, Dst: c.l2,
+			Data: e.V.data.Copy(), Dirty: true})
+		c.cache.Invalidate(m.Addr)
+		c.settled(line)
+	case NS:
+		c.send(&coherence.Msg{Type: coherence.XInvAck, Addr: line, Src: c.id, Dst: c.l2})
+		c.cache.Invalidate(m.Addr)
+		c.settled(line)
+	case NI, NB:
+		// Stale-epoch invalidation (we PutS'd and re-requested), or an
+		// invalidation while our own request waits: ack, no action.
+		c.send(&coherence.Msg{Type: coherence.XInvAck, Addr: line, Src: c.id, Dst: c.l2})
+	}
+}
+
+func (c *InnerL1) settled(line mem.Addr) {
+	if q := c.waitingOps[line]; len(q) > 0 {
+		next := q[0]
+		if len(q) == 1 {
+			delete(c.waitingOps, line)
+		} else {
+			c.waitingOps[line] = q[1:]
+		}
+		c.eng.Schedule(0, func() { c.handleCPU(next) })
+	}
+	if len(c.stalledOps) > 0 {
+		stalled := c.stalledOps
+		c.stalledOps = nil
+		for _, op := range stalled {
+			op := op
+			c.eng.Schedule(0, func() { c.handleCPU(op) })
+		}
+	}
+}
+
+// Outstanding reports open transactions.
+func (c *InnerL1) Outstanding() int {
+	n := len(c.wb) + len(c.stalledOps)
+	for _, q := range c.waitingOps {
+		n += len(q)
+	}
+	c.cache.Visit(func(e *cacheset.Entry[innerLine]) {
+		if e.V.state == NB {
+			n++
+		}
+	})
+	return n
+}
+
+// VisitStable reports stable lines for invariant checks.
+func (c *InnerL1) VisitStable(fn func(addr mem.Addr, st InnerState, data *mem.Block)) {
+	c.cache.Visit(func(e *cacheset.Entry[innerLine]) {
+		if e.V.state == NS || e.V.state == NM {
+			fn(e.Addr, e.V.state, e.V.data)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package cacheset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crossingguard/internal/mem"
+)
+
+type payload struct{ state int }
+
+func TestGeometryValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {1, 0}, {3, 2}, {-4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			New[payload](bad[0], bad[1])
+		}()
+	}
+	c := New[payload](4, 2)
+	if c.Capacity() != 8 || c.SizeBytes() != 8*mem.BlockBytes {
+		t.Fatalf("capacity %d size %d", c.Capacity(), c.SizeBytes())
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New[payload](4, 2)
+	if c.Lookup(0x100) != nil {
+		t.Fatal("lookup hit on empty cache")
+	}
+	e, victim, ok := c.Allocate(0x100, nil)
+	if !ok || victim != nil {
+		t.Fatal("allocate into empty set should not evict")
+	}
+	e.V.state = 7
+	got := c.Lookup(0x13f) // same line as 0x100
+	if got == nil || got.V.state != 7 {
+		t.Fatal("lookup after allocate missed")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("Hits=%d Misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[payload](1, 2) // one set, two ways
+	a1, _, _ := c.Allocate(0x000, nil)
+	a1.V.state = 1
+	a2, _, _ := c.Allocate(0x040, nil)
+	a2.V.state = 2
+	c.Lookup(0x000) // make 0x000 MRU
+	_, victim, ok := c.Allocate(0x080, nil)
+	if !ok || victim == nil {
+		t.Fatal("expected an eviction")
+	}
+	if victim.Addr != 0x040 || victim.V.state != 2 {
+		t.Fatalf("evicted %v state=%d, want LRU line 0x40", victim.Addr, victim.V.state)
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("Evictions = %d", c.Evictions)
+	}
+}
+
+func TestAllocatePinnedWays(t *testing.T) {
+	c := New[payload](1, 2)
+	e1, _, _ := c.Allocate(0x000, nil)
+	e1.V.state = 99 // "transient" — pinned
+	e2, _, _ := c.Allocate(0x040, nil)
+	e2.V.state = 99
+	_, _, ok := c.Allocate(0x080, func(e *Entry[payload]) bool { return e.V.state != 99 })
+	if ok {
+		t.Fatal("allocate should fail with every way pinned")
+	}
+	if c.Peek(0x000) == nil || c.Peek(0x040) == nil {
+		t.Fatal("failed allocate must not disturb contents")
+	}
+	e1.V.state = 0
+	e, victim, ok := c.Allocate(0x080, func(e *Entry[payload]) bool { return e.V.state != 99 })
+	if !ok || victim == nil || victim.Addr != 0x000 {
+		t.Fatalf("expected to evict unpinned 0x000, got victim=%v ok=%v", victim, ok)
+	}
+	if e.Addr != 0x080 {
+		t.Fatalf("new entry addr %v", e.Addr)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New[payload](4, 2)
+	c.Allocate(0x100, nil)
+	if !c.Invalidate(0x100) {
+		t.Fatal("invalidate missed present line")
+	}
+	if c.Invalidate(0x100) {
+		t.Fatal("invalidate hit absent line")
+	}
+	if c.Count() != 0 {
+		t.Fatalf("Count = %d after invalidate", c.Count())
+	}
+}
+
+func TestPeekDoesNotTouchLRU(t *testing.T) {
+	c := New[payload](1, 2)
+	c.Allocate(0x000, nil)
+	c.Allocate(0x040, nil)
+	c.Peek(0x000) // must NOT refresh; 0x000 stays LRU
+	_, victim, _ := c.Allocate(0x080, nil)
+	if victim.Addr != 0x000 {
+		t.Fatalf("Peek refreshed LRU: victim %v", victim.Addr)
+	}
+}
+
+func TestVisit(t *testing.T) {
+	c := New[payload](4, 2)
+	for i := 0; i < 5; i++ {
+		c.Allocate(mem.Addr(i*0x40), nil)
+	}
+	n := 0
+	c.Visit(func(e *Entry[payload]) { n++ })
+	if n != 5 || c.Count() != 5 {
+		t.Fatalf("Visit saw %d, Count %d, want 5", n, c.Count())
+	}
+}
+
+// Property: after any sequence of allocations, distinct valid entries
+// never share a line address, and Count never exceeds capacity.
+func TestPropertyNoDuplicateTags(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New[payload](4, 4)
+		for _, a := range addrs {
+			addr := mem.Addr(a)
+			if c.Peek(addr) == nil {
+				c.Allocate(addr, nil)
+			}
+		}
+		seen := make(map[mem.Addr]bool)
+		dup := false
+		c.Visit(func(e *Entry[payload]) {
+			if seen[e.Addr] {
+				dup = true
+			}
+			seen[e.Addr] = true
+		})
+		return !dup && c.Count() <= c.Capacity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a line just allocated is always found by Lookup.
+func TestPropertyAllocateThenLookup(t *testing.T) {
+	f := func(a uint32) bool {
+		c := New[payload](8, 2)
+		c.Allocate(mem.Addr(a), nil)
+		return c.Lookup(mem.Addr(a)) != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package coherence
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Coverage records which (state, event) pairs a controller has exercised,
+// reproducing the coverage accounting of the paper's stress test (§4.1):
+// "we counted the state/event pairs that the random tester visited at each
+// cache controller and compared it with the number that we believe are
+// possible". Controllers Declare their reachable pairs up front; Record
+// marks a visit; visiting an undeclared pair is a protocol bug surfaced
+// via the Unexpected list.
+type Coverage struct {
+	name     string
+	declared map[string]bool
+	visited  map[string]uint64
+	// Unexpected lists visited pairs that were never declared possible.
+	Unexpected []string
+}
+
+// NewCoverage returns an empty recorder for the named controller class.
+func NewCoverage(name string) *Coverage {
+	return &Coverage{
+		name:     name,
+		declared: make(map[string]bool),
+		visited:  make(map[string]uint64),
+	}
+}
+
+func key(state, event string) string { return state + "/" + event }
+
+// Declare marks (state, event) as a possible transition.
+func (c *Coverage) Declare(state, event string) { c.declared[key(state, event)] = true }
+
+// DeclareAll declares the cross product states x events.
+func (c *Coverage) DeclareAll(states, events []string) {
+	for _, s := range states {
+		for _, e := range events {
+			c.Declare(s, e)
+		}
+	}
+}
+
+// Record notes a visit to (state, event).
+func (c *Coverage) Record(state, event string) {
+	k := key(state, event)
+	if len(c.declared) > 0 && !c.declared[k] {
+		c.Unexpected = append(c.Unexpected, k)
+	}
+	c.visited[k]++
+}
+
+// Name returns the controller class name.
+func (c *Coverage) Name() string { return c.name }
+
+// Possible returns the number of declared pairs.
+func (c *Coverage) Possible() int { return len(c.declared) }
+
+// Visited returns the number of distinct pairs seen.
+func (c *Coverage) Visited() int { return len(c.visited) }
+
+// Visits returns the total transition count.
+func (c *Coverage) Visits() uint64 {
+	var n uint64
+	for _, v := range c.visited {
+		n += v
+	}
+	return n
+}
+
+// Missing returns declared pairs never visited, sorted.
+func (c *Coverage) Missing() []string {
+	var out []string
+	for k := range c.declared {
+		if c.visited[k] == 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds other's visit counts into c (same controller class running
+// as multiple instances, or across runs).
+func (c *Coverage) Merge(other *Coverage) {
+	for k, v := range other.visited {
+		c.visited[k] += v
+	}
+	c.Unexpected = append(c.Unexpected, other.Unexpected...)
+}
+
+// Summary renders a one-line coverage report.
+func (c *Coverage) Summary() string {
+	if c.Possible() == 0 {
+		return fmt.Sprintf("%-14s %6d pairs visited (%d visits)", c.name, c.Visited(), c.Visits())
+	}
+	return fmt.Sprintf("%-14s %4d/%-4d pairs (%5.1f%%), %d visits, %d unexpected",
+		c.name, c.Visited(), c.Possible(),
+		100*float64(c.Visited())/float64(c.Possible()), c.Visits(), len(c.Unexpected))
+}

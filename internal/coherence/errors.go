@@ -1,0 +1,46 @@
+package coherence
+
+import (
+	"fmt"
+
+	"crossingguard/internal/mem"
+)
+
+// ProtocolError is a detected coherence-protocol violation. Violations
+// are *reported*, never panicked on, in any configuration that must
+// tolerate a misbehaving agent (the Crossing Guard guarantees, and the
+// host-protocol modifications of paper §3.2).
+type ProtocolError struct {
+	Where  string   // reporting controller
+	Code   string   // stable identifier, e.g. "XG.G1a", "HOST.UnexpectedNack"
+	Addr   mem.Addr // affected line (0 if none)
+	Detail string
+}
+
+func (e ProtocolError) Error() string {
+	return fmt.Sprintf("%s: %s @%v: %s", e.Where, e.Code, e.Addr, e.Detail)
+}
+
+// ErrorSink receives protocol errors; the "OS" in the paper's error model.
+type ErrorSink interface {
+	ReportError(e ProtocolError)
+}
+
+// ErrorLog is the basic ErrorSink: it records everything.
+type ErrorLog struct {
+	Errors []ProtocolError
+	// ByCode counts errors per code.
+	ByCode map[string]uint64
+}
+
+// NewErrorLog returns an empty log.
+func NewErrorLog() *ErrorLog { return &ErrorLog{ByCode: make(map[string]uint64)} }
+
+// ReportError implements ErrorSink.
+func (l *ErrorLog) ReportError(e ProtocolError) {
+	l.Errors = append(l.Errors, e)
+	l.ByCode[e.Code]++
+}
+
+// Count returns the total number of reported errors.
+func (l *ErrorLog) Count() int { return len(l.Errors) }

@@ -1,0 +1,256 @@
+// Package coherence defines the vocabulary shared by every protocol agent
+// in the system: node identities, coherence message types (for the
+// Crossing Guard accelerator interface, the Hammer-like host protocol and
+// the MESI two-level host protocol), the controller interface, and the
+// transition-coverage recorder used to report stress-test coverage the
+// same way the paper does (§4.1).
+package coherence
+
+import (
+	"fmt"
+
+	"crossingguard/internal/mem"
+)
+
+// NodeID identifies a protocol agent (cache, directory, guard, sequencer).
+type NodeID int
+
+// NodeNone is the zero/invalid node.
+const NodeNone NodeID = -1
+
+// MsgType enumerates every coherence message in the system. Types are
+// grouped by protocol: A* is the Crossing Guard accelerator interface
+// (paper §2.1), H* the Hammer-like host protocol, M* the MESI two-level
+// host protocol, and X* accelerator-internal messages for the two-level
+// accelerator hierarchy.
+type MsgType int
+
+const (
+	MsgInvalid MsgType = iota
+
+	// --- Crossing Guard accelerator interface (paper §2.1) ---
+	// Accelerator -> XG requests (exactly five).
+	AGetS
+	AGetM
+	APutM // carries data
+	APutE // carries data
+	APutS
+	// XG -> accelerator responses (exactly four).
+	ADataS
+	ADataE
+	ADataM
+	AWBAck
+	// XG -> accelerator request (exactly one).
+	AInv
+	// Accelerator -> XG responses (exactly three).
+	AInvAck
+	ACleanWB // carries data
+	ADirtyWB // carries data
+
+	// --- Hammer-like exclusive MOESI host protocol ---
+	// cache -> directory
+	HGetS
+	HGetSOnly // non-upgradable GetS (host modification for Transactional XG)
+	HGetM
+	HPut    // first half of two-part writeback (no data)
+	HWBData // second half (data)
+	HUnblock
+	// directory -> cache
+	HFwdGetS
+	HFwdGetSOnly
+	HFwdGetM
+	HWBAck
+	HNack
+	HMemData // speculative memory data to the requestor
+	// cache -> cache (responses to the requestor)
+	HData
+	HAck
+
+	// --- MESI two-level inclusive host protocol ---
+	// L1 -> L2
+	MGetS
+	MGetM
+	MGetInstr // non-upgradable (instruction-style) GetS
+	MPutM     // writeback, carries data, Dirty flag distinguishes PutM/PutE
+	MPutS     // sharer eviction notice (exact sharer tracking)
+	// L2 -> L1
+	MDataE    // exclusive grant (zero acks expected)
+	MDataS    // shared grant
+	MDataAcks // data for a GetM; Acks = invalidation acks to await
+	MInv      // invalidate; Requestor = who to ack
+	MInvToL2  // invalidate; ack back to the L2 (inclusive eviction)
+	MFwdGetS  // owner must send data to Requestor and a copy to the L2
+	MFwdGetM  // owner must send data to Requestor and invalidate
+	MWBAck
+	// L1 -> L1 / L1 -> L2 responses
+	MInvAck     // to the requestor named in MInv
+	MInvAckToL2 // to the L2 (inclusive eviction)
+	MDataOwner  // owner's data directly to the requestor
+	MCopyToL2   // downgrade copy of owner data back to the L2
+	MUnblock    // requestor -> L2: transaction complete
+
+	// --- Accelerator-internal (two-level accelerator hierarchy) ---
+	// accel L1 -> accel L2
+	XGetS
+	XGetM
+	XPutM // carries data
+	XPutS
+	// accel L2 -> accel L1
+	XDataS
+	XDataE
+	XDataM
+	XInv
+	XWBAck
+	// accel L1 -> accel L2
+	XInvAck
+	XInvWB // invalidation response carrying dirty data
+
+	// --- Sequencer-level (core <-> its private cache) ---
+	ReqLoad
+	ReqStore
+	RespLoad
+	RespStore
+
+	numMsgTypes
+)
+
+var msgTypeNames = [...]string{
+	MsgInvalid: "Invalid",
+
+	AGetS: "A:GetS", AGetM: "A:GetM", APutM: "A:PutM", APutE: "A:PutE", APutS: "A:PutS",
+	ADataS: "A:DataS", ADataE: "A:DataE", ADataM: "A:DataM", AWBAck: "A:WBAck",
+	AInv: "A:Inv", AInvAck: "A:InvAck", ACleanWB: "A:CleanWB", ADirtyWB: "A:DirtyWB",
+
+	HGetS: "H:GetS", HGetSOnly: "H:GetSOnly", HGetM: "H:GetM", HPut: "H:Put",
+	HWBData: "H:WBData", HUnblock: "H:Unblock",
+	HFwdGetS: "H:FwdGetS", HFwdGetSOnly: "H:FwdGetSOnly", HFwdGetM: "H:FwdGetM",
+	HWBAck: "H:WBAck", HNack: "H:Nack", HMemData: "H:MemData",
+	HData: "H:Data", HAck: "H:Ack",
+
+	MGetS: "M:GetS", MGetM: "M:GetM", MGetInstr: "M:GetInstr", MPutM: "M:PutM", MPutS: "M:PutS",
+	MDataE: "M:DataE", MDataS: "M:DataS", MDataAcks: "M:DataAcks",
+	MInv: "M:Inv", MInvToL2: "M:InvToL2", MFwdGetS: "M:FwdGetS", MFwdGetM: "M:FwdGetM",
+	MWBAck: "M:WBAck", MInvAck: "M:InvAck", MInvAckToL2: "M:InvAckToL2",
+	MDataOwner: "M:DataOwner", MCopyToL2: "M:CopyToL2", MUnblock: "M:Unblock",
+
+	XGetS: "X:GetS", XGetM: "X:GetM", XPutM: "X:PutM", XPutS: "X:PutS",
+	XDataS: "X:DataS", XDataE: "X:DataE", XDataM: "X:DataM", XInv: "X:Inv",
+	XWBAck: "X:WBAck", XInvAck: "X:InvAck", XInvWB: "X:InvWB",
+
+	ReqLoad: "Req:Load", ReqStore: "Req:Store", RespLoad: "Resp:Load", RespStore: "Resp:Store",
+}
+
+func (t MsgType) String() string {
+	if t >= 0 && int(t) < len(msgTypeNames) && msgTypeNames[t] != "" {
+		return msgTypeNames[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", int(t))
+}
+
+// CarriesData reports whether messages of this type carry a data block in
+// a correct protocol; used for byte accounting and guard checks.
+func (t MsgType) CarriesData() bool {
+	switch t {
+	case APutM, APutE, ADataS, ADataE, ADataM, ACleanWB, ADirtyWB,
+		HWBData, HMemData, HData,
+		MPutM, MDataE, MDataS, MDataAcks, MDataOwner, MCopyToL2,
+		XPutM, XDataS, XDataE, XDataM, XInvWB,
+		RespLoad:
+		return true
+	}
+	return false
+}
+
+// IsAccelRequest reports whether t is one of the five accelerator->XG
+// requests of the Crossing Guard interface.
+func (t MsgType) IsAccelRequest() bool {
+	switch t {
+	case AGetS, AGetM, APutM, APutE, APutS:
+		return true
+	}
+	return false
+}
+
+// IsAccelResponse reports whether t is one of the three accelerator->XG
+// responses of the Crossing Guard interface.
+func (t MsgType) IsAccelResponse() bool {
+	switch t {
+	case AInvAck, ACleanWB, ADirtyWB:
+		return true
+	}
+	return false
+}
+
+// ControlBytes and DataBytes size the performance/traffic model: every
+// message has an 8-byte header; data-bearing messages add one block.
+const (
+	ControlBytes = 8
+	DataBytes    = mem.BlockBytes
+)
+
+// Msg is a coherence message. A single struct serves every protocol;
+// unused fields are zero. Messages are immutable once sent: senders that
+// keep mutating a block must send a copy.
+type Msg struct {
+	Type      MsgType
+	Addr      mem.Addr
+	Src, Dst  NodeID
+	Requestor NodeID     // original requestor, for forwarded requests
+	Data      *mem.Block // nil when absent
+	Dirty     bool       // data is modified relative to memory
+	Shared    bool       // responder also holds/held the block shared
+	Acks      int        // invalidation acks the requestor must await
+	Val       byte       // byte operand/result for sequencer-level ops
+	Tag       uint64     // sequencer-level operation id, echoed in responses
+}
+
+// Bytes returns the modeled wire size of the message.
+func (m *Msg) Bytes() int {
+	if m.Data != nil {
+		return ControlBytes + DataBytes
+	}
+	return ControlBytes
+}
+
+func (m *Msg) String() string {
+	s := fmt.Sprintf("%v %v %d->%d", m.Type, m.Addr, m.Src, m.Dst)
+	if m.Requestor != 0 && m.Requestor != NodeNone {
+		s += fmt.Sprintf(" req=%d", m.Requestor)
+	}
+	if m.Data != nil {
+		s += " +data"
+		if m.Dirty {
+			s += "(dirty)"
+		}
+	}
+	if m.Acks != 0 {
+		s += fmt.Sprintf(" acks=%d", m.Acks)
+	}
+	if m.Shared {
+		s += " shared"
+	}
+	return s
+}
+
+// Controller is a protocol agent: something that receives messages.
+type Controller interface {
+	ID() NodeID
+	Name() string
+	Recv(m *Msg)
+}
+
+// SortedNodes returns the keys of a node set in ascending order, so that
+// iteration-driven message emission is deterministic (Go map iteration is
+// randomized; simulations must be reproducible).
+func SortedNodes(set map[NodeID]bool) []NodeID {
+	out := make([]NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,538 @@
+// Package config composes complete simulated machines for the twelve
+// cache organizations evaluated in the paper (§3, Figure 2): for each
+// host protocol (Hammer-like MOESI, inclusive MESI), an unsafe
+// accelerator-side cache (2a), a safe host-side cache (2b), and four
+// Crossing Guard organizations (2c/2d: {Full State, Transactional} x
+// {single-level, two-level accelerator hierarchy}).
+package config
+
+import (
+	"fmt"
+
+	"crossingguard/internal/accel"
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/core"
+	"crossingguard/internal/hostproto/hammer"
+	"crossingguard/internal/hostproto/mesi"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/perm"
+	"crossingguard/internal/seq"
+	"crossingguard/internal/sim"
+)
+
+// HostKind selects the host coherence protocol.
+type HostKind int
+
+const (
+	HostHammer HostKind = iota
+	HostMESI
+)
+
+func (h HostKind) String() string {
+	if h == HostHammer {
+		return "hammer"
+	}
+	return "mesi"
+}
+
+// Org is the accelerator cache organization (paper Figure 2).
+type Org int
+
+const (
+	// OrgAccelSide: the accelerator implements a host-protocol cache
+	// directly — fast but unsafe (Fig. 2a).
+	OrgAccelSide Org = iota
+	// OrgHostSide: no accelerator cache; every access crosses to a
+	// host-side cache — safe but slow (Fig. 2b).
+	OrgHostSide
+	// OrgXGFull1L / OrgXGTxn1L: Crossing Guard with a per-core
+	// single-level accelerator L1 (Fig. 2c).
+	OrgXGFull1L
+	OrgXGTxn1L
+	// OrgXGFull2L / OrgXGTxn2L: Crossing Guard with private L1s behind a
+	// shared accelerator L2 (Fig. 2d).
+	OrgXGFull2L
+	OrgXGTxn2L
+	// OrgXGWeak: the weakly-coherent accelerator hierarchy of §2.1 —
+	// incoherent private L1s with explicit flush, behind a fully
+	// host-coherent shared L2 and a Full State guard. Not part of the
+	// paper's 12-configuration sweep; provided as the paper's claimed
+	// extension ("Crossing Guard places no restrictions on coherence
+	// behavior within the accelerator protocol").
+	OrgXGWeak
+)
+
+var orgNames = [...]string{"accel-side", "host-side", "xg-full/1L", "xg-txn/1L", "xg-full/2L", "xg-txn/2L", "xg-weak"}
+
+func (o Org) String() string { return orgNames[o] }
+
+// UsesXG reports whether the organization includes Crossing Guard.
+func (o Org) UsesXG() bool { return o >= OrgXGFull1L }
+
+// TwoLevel reports whether the accelerator has a shared L2.
+func (o Org) TwoLevel() bool { return o == OrgXGFull2L || o == OrgXGTxn2L || o == OrgXGWeak }
+
+// Mode returns the guard variant for XG organizations.
+func (o Org) Mode() core.Mode {
+	if o == OrgXGTxn1L || o == OrgXGTxn2L {
+		return core.Transactional
+	}
+	return core.FullState
+}
+
+// AllOrgs lists the six organizations per host.
+var AllOrgs = []Org{OrgAccelSide, OrgHostSide, OrgXGFull1L, OrgXGTxn1L, OrgXGFull2L, OrgXGTxn2L}
+
+// Node id layout.
+const (
+	nodeHost    coherence.NodeID = 1   // hammer directory / mesi L2
+	nodeCPU     coherence.NodeID = 10  // CPU cache i
+	nodeXG      coherence.NodeID = 40  // guard i (one per accel core for 1L)
+	nodeAccelL2 coherence.NodeID = 60  // shared accelerator L2
+	nodeCPUSeq  coherence.NodeID = 100 // CPU sequencer i
+	nodeAccel   coherence.NodeID = 200 // accelerator cache i
+	nodeAccSeq  coherence.NodeID = 300 // accelerator sequencer i
+)
+
+// Latencies models the interconnect distances (DESIGN.md §7).
+type Latencies struct {
+	CoreToCache sim.Time // sequencer <-> private cache
+	HostHop     sim.Time // on-host hop (cache <-> directory/L2)
+	Crossing    sim.Time // host <-> accelerator crossing
+	AccelHop    sim.Time // accelerator-internal hop (L1 <-> accel L2)
+	GuardLat    sim.Time // guard processing per crossing message
+	Jitter      sim.Time
+}
+
+// DefaultLatencies returns the benchmark latency set.
+func DefaultLatencies() Latencies {
+	return Latencies{CoreToCache: 1, HostHop: 10, Crossing: 80, AccelHop: 6, GuardLat: 4, Jitter: 4}
+}
+
+// Spec describes one machine to build.
+type Spec struct {
+	Host       HostKind
+	Org        Org
+	CPUs       int
+	AccelCores int
+	Seed       int64
+	// Small shrinks every cache for stress testing.
+	Small bool
+	// Perms, when set, is installed as the guard's permission table.
+	Perms *perm.Table
+	// Timeout is the guard's Guarantee 2c deadline (default 100000).
+	Timeout sim.Time
+	// Rate optionally rate-limits accelerator requests.
+	Rate *core.RateLimit
+	// DisableAfter sets the guard's error policy.
+	DisableAfter int
+	// Lat overrides the latency model (zero value = defaults).
+	Lat *Latencies
+	// AccelL1KB overrides the accelerator L1 capacity (0 = default
+	// 16 KiB); used by the storage experiment (E8).
+	AccelL1KB int
+	// ExtraHammerPeers enlarges the hammer broadcast set for caches
+	// attached after Build (the multi-device builder).
+	ExtraHammerPeers int
+	// ForceTxnMods enables the §3.2 host modifications regardless of
+	// organization (needed when a Transactional guard is attached after
+	// Build, as in the multi-device builder).
+	ForceTxnMods bool
+	// CustomAccel, when set on an XG organization, replaces the
+	// accelerator cache hierarchy: it is invoked once per guard with the
+	// accelerator-side node id and the guard id, must register a
+	// controller under that id, and returns an outstanding-count
+	// function (may be nil). The fuzz harness uses this to attach
+	// pathological accelerators (paper §4.2).
+	CustomAccel func(s *System, accelID, xgID coherence.NodeID) func() int
+}
+
+// Name renders the configuration id used in reports.
+func (s Spec) Name() string { return fmt.Sprintf("%v/%v", s.Host, s.Org) }
+
+// System is a composed machine.
+type System struct {
+	Spec Spec
+	Eng  *sim.Engine
+	Fab  *network.Fabric
+	Mem  *mem.Memory
+	Log  *coherence.ErrorLog
+
+	CPUSeqs   []*seq.Sequencer
+	AccelSeqs []*seq.Sequencer
+	Guards    []*core.Guard
+
+	// Host protocol handles (one set is nil).
+	HDir    *hammer.Directory
+	HCaches []*hammer.Cache
+	ML2     *mesi.L2
+	ML1s    []*mesi.L1
+
+	// Accelerator handles (by organization).
+	AccelL1s     []*accel.L1Cache // 1L XG organizations
+	InnerL1s     []*accel.InnerL1 // 2L XG organizations
+	AccelL2      *accel.SharedL2
+	WeakL1s      []*accel.WeakL1 // weak hierarchy (OrgXGWeak)
+	WeakL2C      *accel.WeakL2
+	AccelHCaches []*hammer.Cache // accel-side / host-side with hammer
+	AccelMCaches []*mesi.L1      // accel-side / host-side with MESI
+
+	outstandingFns []func() int
+	// guardAccelView maps each guard (by index in Guards) to a snapshot
+	// of its accelerator's resident lines (level 0=S,1=E,2=M), used by
+	// the audit to check Full State table exactness.
+	guardAccelView []func() map[mem.Addr]int
+}
+
+// Build wires the machine described by spec.
+func Build(spec Spec) *System {
+	if spec.CPUs <= 0 {
+		spec.CPUs = 2
+	}
+	if spec.AccelCores <= 0 {
+		spec.AccelCores = 2
+	}
+	if spec.Timeout == 0 {
+		spec.Timeout = 100_000
+	}
+	lat := DefaultLatencies()
+	if spec.Lat != nil {
+		lat = *spec.Lat
+	}
+	eng := sim.NewEngine()
+	fab := network.NewFabric(eng, spec.Seed, network.Config{Latency: lat.HostHop, Jitter: lat.Jitter, Ordered: true})
+	memory := mem.NewMemory()
+	log := coherence.NewErrorLog()
+	s := &System{Spec: spec, Eng: eng, Fab: fab, Mem: memory, Log: log}
+
+	txnMods := spec.Org == OrgXGTxn1L || spec.Org == OrgXGTxn2L || spec.ForceTxnMods
+	switch spec.Host {
+	case HostHammer:
+		s.buildHammer(spec, lat, txnMods)
+	case HostMESI:
+		s.buildMESI(spec, lat, txnMods)
+	}
+	return s
+}
+
+func (s *System) hammerCfg(small, txnMods bool) hammer.Config {
+	cfg := hammer.DefaultConfig()
+	if small {
+		cfg.Sets, cfg.Ways = 2, 2
+	}
+	cfg.TxnMods = txnMods
+	return cfg
+}
+
+func (s *System) mesiCfg(small, txnMods bool) mesi.Config {
+	cfg := mesi.DefaultConfig()
+	if small {
+		cfg.L1Sets, cfg.L1Ways = 2, 2
+		cfg.L2Sets, cfg.L2Ways = 4, 2
+	}
+	cfg.TxnMods = txnMods
+	return cfg
+}
+
+func (s *System) accelCfg(small bool) accel.Config {
+	cfg := accel.DefaultConfig()
+	if small {
+		cfg.L1Sets, cfg.L1Ways = 2, 2
+		cfg.L2Sets, cfg.L2Ways = 4, 2
+	}
+	if s.Spec.AccelL1KB > 0 {
+		if sets := s.Spec.AccelL1KB * 1024 / (mem.BlockBytes * cfg.L1Ways); sets > 0 {
+			cfg.L1Sets = sets
+		}
+	}
+	return cfg
+}
+
+func (s *System) guardCfg(spec Spec, lat Latencies) core.Config {
+	return core.Config{
+		Mode:         spec.Org.Mode(),
+		Perms:        spec.Perms,
+		Timeout:      spec.Timeout,
+		GuardLat:     lat.GuardLat,
+		Rate:         spec.Rate,
+		DisableAfter: spec.DisableAfter,
+	}
+}
+
+func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
+	cfg := s.hammerCfg(spec.Small, txnMods)
+	s.HDir = hammer.NewDirectory(nodeHost, "hammer.dir", s.Eng, s.Fab, s.Mem, cfg, s.Log)
+	s.outstandingFns = append(s.outstandingFns, s.HDir.Outstanding)
+
+	// Count the caches that will participate in broadcasts.
+	nCaches := spec.CPUs
+	switch spec.Org {
+	case OrgAccelSide, OrgHostSide:
+		nCaches += spec.AccelCores
+	case OrgXGFull1L, OrgXGTxn1L:
+		nCaches += spec.AccelCores // one guard per accelerator core
+	default:
+		nCaches++ // one guard in front of the shared accelerator L2
+	}
+
+	nCaches += spec.ExtraHammerPeers
+	responses := nCaches // (nCaches-1 peers) + 1 memory response
+
+	for i := 0; i < spec.CPUs; i++ {
+		c := hammer.NewCache(nodeCPU+coherence.NodeID(i), fmt.Sprintf("hammer.C[%d]", i),
+			s.Eng, s.Fab, nodeHost, responses, cfg, s.Log)
+		s.HCaches = append(s.HCaches, c)
+		s.HDir.AddPeer(c.ID())
+		s.outstandingFns = append(s.outstandingFns, c.Outstanding)
+		sq := seq.New(nodeCPUSeq+coherence.NodeID(i), fmt.Sprintf("cpu[%d]", i), s.Eng, s.Fab, c.ID())
+		s.CPUSeqs = append(s.CPUSeqs, sq)
+		s.Fab.SetRoutePair(sq.ID(), c.ID(), network.Config{Latency: lat.CoreToCache, Ordered: true})
+	}
+
+	switch spec.Org {
+	case OrgAccelSide, OrgHostSide:
+		// The accelerator's cache is sized like the accelerator L1 of
+		// the guard organizations, for a fair comparison.
+		acfg := cfg
+		if !spec.Small {
+			acfg.Sets, acfg.Ways = 64, 4
+		}
+		for i := 0; i < spec.AccelCores; i++ {
+			id := nodeAccel + coherence.NodeID(i)
+			c := hammer.NewCache(id, fmt.Sprintf("hammer.A[%d]", i),
+				s.Eng, s.Fab, nodeHost, responses, acfg, s.Log)
+			s.AccelHCaches = append(s.AccelHCaches, c)
+			s.HDir.AddPeer(c.ID())
+			s.outstandingFns = append(s.outstandingFns, c.Outstanding)
+			sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, c.ID())
+			s.AccelSeqs = append(s.AccelSeqs, sq)
+			if spec.Org == OrgAccelSide {
+				// Cache at the accelerator: cheap hits, every protocol
+				// message crosses.
+				s.Fab.SetRoutePair(sq.ID(), c.ID(), network.Config{Latency: lat.CoreToCache, Ordered: true})
+				s.crossingRoutes(c.ID(), lat)
+			} else {
+				// Cache at the host: every access crosses.
+				s.Fab.SetRoutePair(sq.ID(), c.ID(), network.Config{Latency: lat.Crossing, Ordered: true})
+			}
+		}
+	case OrgXGFull1L, OrgXGTxn1L:
+		for i := 0; i < spec.AccelCores; i++ {
+			xgID := nodeXG + coherence.NodeID(i)
+			acID := nodeAccel + coherence.NodeID(i)
+			g := core.NewHammerGuard(xgID, fmt.Sprintf("xg[%d]", i), s.Eng, s.Fab,
+				acID, nodeHost, responses, s.guardCfg(spec, lat), s.Log)
+			s.Guards = append(s.Guards, g)
+			s.HDir.AddPeer(g.ID())
+			s.outstandingFns = append(s.outstandingFns, g.Outstanding)
+			s.attachAccelL1(spec, lat, acID, xgID, i)
+		}
+	default: // two-level
+		xgID := nodeXG
+		g := core.NewHammerGuard(xgID, "xg", s.Eng, s.Fab,
+			nodeAccelL2, nodeHost, responses, s.guardCfg(spec, lat), s.Log)
+		s.Guards = append(s.Guards, g)
+		s.HDir.AddPeer(g.ID())
+		s.outstandingFns = append(s.outstandingFns, g.Outstanding)
+		s.buildTwoLevelAccel(spec, lat, xgID)
+	}
+}
+
+// attachAccelL1 wires a single-level accelerator cache (or the custom
+// accelerator provided by the spec) behind one guard.
+func (s *System) attachAccelL1(spec Spec, lat Latencies, acID, xgID coherence.NodeID, i int) {
+	s.Fab.SetRoutePair(acID, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
+	if spec.CustomAccel != nil {
+		s.guardAccelView = append(s.guardAccelView, nil)
+		if fn := spec.CustomAccel(s, acID, xgID); fn != nil {
+			s.outstandingFns = append(s.outstandingFns, fn)
+		}
+		return
+	}
+	l1 := accel.NewL1Cache(acID, fmt.Sprintf("accelL1[%d]", i), s.Eng, s.Fab, xgID, s.accelCfg(spec.Small))
+	s.AccelL1s = append(s.AccelL1s, l1)
+	s.guardAccelView = append(s.guardAccelView, accelL1View(l1))
+	s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
+	sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, acID)
+	s.AccelSeqs = append(s.AccelSeqs, sq)
+	s.Fab.SetRoutePair(sq.ID(), acID, network.Config{Latency: lat.CoreToCache, Ordered: true})
+}
+
+func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
+	cfg := s.mesiCfg(spec.Small, txnMods)
+	s.ML2 = mesi.NewL2(nodeHost, "mesi.L2", s.Eng, s.Fab, s.Mem, cfg, s.Log)
+	s.outstandingFns = append(s.outstandingFns, s.ML2.Outstanding)
+
+	for i := 0; i < spec.CPUs; i++ {
+		l1 := mesi.NewL1(nodeCPU+coherence.NodeID(i), fmt.Sprintf("mesi.L1[%d]", i),
+			s.Eng, s.Fab, nodeHost, cfg, s.Log)
+		s.ML1s = append(s.ML1s, l1)
+		s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
+		sq := seq.New(nodeCPUSeq+coherence.NodeID(i), fmt.Sprintf("cpu[%d]", i), s.Eng, s.Fab, l1.ID())
+		s.CPUSeqs = append(s.CPUSeqs, sq)
+		s.Fab.SetRoutePair(sq.ID(), l1.ID(), network.Config{Latency: lat.CoreToCache, Ordered: true})
+	}
+
+	switch spec.Org {
+	case OrgAccelSide, OrgHostSide:
+		for i := 0; i < spec.AccelCores; i++ {
+			id := nodeAccel + coherence.NodeID(i)
+			l1 := mesi.NewL1(id, fmt.Sprintf("mesi.A[%d]", i), s.Eng, s.Fab, nodeHost, cfg, s.Log)
+			s.AccelMCaches = append(s.AccelMCaches, l1)
+			s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
+			sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, id)
+			s.AccelSeqs = append(s.AccelSeqs, sq)
+			if spec.Org == OrgAccelSide {
+				s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
+				s.crossingRoutes(id, lat)
+			} else {
+				s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.Crossing, Ordered: true})
+			}
+		}
+	case OrgXGFull1L, OrgXGTxn1L:
+		for i := 0; i < spec.AccelCores; i++ {
+			xgID := nodeXG + coherence.NodeID(i)
+			acID := nodeAccel + coherence.NodeID(i)
+			g := core.NewMESIGuard(xgID, fmt.Sprintf("xg[%d]", i), s.Eng, s.Fab,
+				acID, nodeHost, s.guardCfg(spec, lat), s.Log)
+			s.Guards = append(s.Guards, g)
+			s.outstandingFns = append(s.outstandingFns, g.Outstanding)
+			s.attachAccelL1(spec, lat, acID, xgID, i)
+		}
+	default:
+		xgID := nodeXG
+		g := core.NewMESIGuard(xgID, "xg", s.Eng, s.Fab,
+			nodeAccelL2, nodeHost, s.guardCfg(spec, lat), s.Log)
+		s.Guards = append(s.Guards, g)
+		s.outstandingFns = append(s.outstandingFns, g.Outstanding)
+		s.buildTwoLevelAccel(spec, lat, xgID)
+	}
+}
+
+// buildTwoLevelAccel wires the Figure 2d accelerator: inner L1s behind
+// the shared accelerator L2 which talks to the guard.
+func (s *System) buildTwoLevelAccel(spec Spec, lat Latencies, xgID coherence.NodeID) {
+	if spec.Org == OrgXGWeak && spec.CustomAccel == nil {
+		s.buildWeakAccel(spec, lat, xgID)
+		return
+	}
+	if spec.CustomAccel != nil {
+		s.guardAccelView = append(s.guardAccelView, nil)
+		s.Fab.SetRoutePair(nodeAccelL2, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
+		if fn := spec.CustomAccel(s, nodeAccelL2, xgID); fn != nil {
+			s.outstandingFns = append(s.outstandingFns, fn)
+		}
+		return
+	}
+	acfg := s.accelCfg(spec.Small)
+	s.AccelL2 = accel.NewSharedL2(nodeAccelL2, "accelL2", s.Eng, s.Fab, xgID, acfg)
+	s.guardAccelView = append(s.guardAccelView, sharedL2View(s.AccelL2))
+	s.outstandingFns = append(s.outstandingFns, s.AccelL2.Outstanding)
+	s.Fab.SetRoutePair(nodeAccelL2, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
+	for i := 0; i < spec.AccelCores; i++ {
+		id := nodeAccel + coherence.NodeID(i)
+		l1 := accel.NewInnerL1(id, fmt.Sprintf("accel2L.L1[%d]", i), s.Eng, s.Fab, nodeAccelL2, acfg)
+		s.InnerL1s = append(s.InnerL1s, l1)
+		s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
+		sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, id)
+		s.AccelSeqs = append(s.AccelSeqs, sq)
+		s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
+		s.Fab.SetRoutePair(id, nodeAccelL2, network.Config{Latency: lat.AccelHop, Jitter: 1, Ordered: true})
+	}
+}
+
+// buildWeakAccel wires the weakly-coherent hierarchy: incoherent WeakL1s
+// behind a host-coherent WeakL2 talking to the guard.
+func (s *System) buildWeakAccel(spec Spec, lat Latencies, xgID coherence.NodeID) {
+	acfg := s.accelCfg(spec.Small)
+	s.WeakL2C = accel.NewWeakL2(nodeAccelL2, "weakL2", s.Eng, s.Fab, xgID, acfg)
+	s.guardAccelView = append(s.guardAccelView, weakL2View(s.WeakL2C))
+	s.outstandingFns = append(s.outstandingFns, s.WeakL2C.Outstanding)
+	s.Fab.SetRoutePair(nodeAccelL2, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
+	for i := 0; i < spec.AccelCores; i++ {
+		id := nodeAccel + coherence.NodeID(i)
+		l1 := accel.NewWeakL1(id, fmt.Sprintf("weakL1[%d]", i), s.Eng, s.Fab, nodeAccelL2, acfg)
+		s.WeakL1s = append(s.WeakL1s, l1)
+		s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
+		sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, id)
+		s.AccelSeqs = append(s.AccelSeqs, sq)
+		s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
+		s.Fab.SetRoutePair(id, nodeAccelL2, network.Config{Latency: lat.AccelHop, Jitter: 1, Ordered: true})
+	}
+}
+
+// crossingRoutes makes every channel between node and host components pay
+// the crossing latency (accel-side organization).
+func (s *System) crossingRoutes(node coherence.NodeID, lat Latencies) {
+	cfg := network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true}
+	s.Fab.SetRoutePair(node, nodeHost, cfg)
+	for i := 0; i < s.Spec.CPUs; i++ {
+		s.Fab.SetRoutePair(node, nodeCPU+coherence.NodeID(i), cfg)
+	}
+}
+
+// --- tester.System implementation ---
+
+// Engine implements tester.System.
+func (s *System) Engine() *sim.Engine { return s.Eng }
+
+// Sequencers implements tester.System (CPU cores first, then the
+// accelerator cores).
+func (s *System) Sequencers() []*seq.Sequencer {
+	out := append([]*seq.Sequencer{}, s.CPUSeqs...)
+	return append(out, s.AccelSeqs...)
+}
+
+// Outstanding implements tester.System.
+func (s *System) Outstanding() int {
+	n := 0
+	for _, fn := range s.outstandingFns {
+		n += fn()
+	}
+	for _, sq := range s.Sequencers() {
+		n += sq.Outstanding()
+	}
+	return n
+}
+
+// accelL1View snapshots a Table 1 cache's stable lines.
+func accelL1View(c *accel.L1Cache) func() map[mem.Addr]int {
+	return func() map[mem.Addr]int {
+		out := map[mem.Addr]int{}
+		c.VisitStable(func(addr mem.Addr, st accel.AState, _ *mem.Block) {
+			out[addr] = accelLevel(st)
+		})
+		return out
+	}
+}
+
+// sharedL2View snapshots a two-level hierarchy's host-level claims.
+func sharedL2View(l *accel.SharedL2) func() map[mem.Addr]int {
+	return func() map[mem.Addr]int {
+		out := map[mem.Addr]int{}
+		l.VisitStable(func(addr mem.Addr, host accel.AState, _ coherence.NodeID, _ int, _ *mem.Block, dirty bool) {
+			lvl := accelLevel(host)
+			if dirty && lvl < 2 {
+				lvl = 2
+			}
+			out[addr] = lvl
+		})
+		return out
+	}
+}
+
+// weakL2View snapshots the weak hierarchy's host-level claims.
+func weakL2View(l *accel.WeakL2) func() map[mem.Addr]int {
+	return func() map[mem.Addr]int {
+		out := map[mem.Addr]int{}
+		l.VisitStable(func(addr mem.Addr, host accel.AState, _ int, _ *mem.Block, dirty bool) {
+			lvl := accelLevel(host)
+			if dirty && lvl < 2 {
+				lvl = 2
+			}
+			out[addr] = lvl
+		})
+		return out
+	}
+}

@@ -1,0 +1,116 @@
+package config
+
+import (
+	"fmt"
+	"testing"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/seq"
+	"crossingguard/internal/tester"
+)
+
+// These tests poke the guard's host-side corner branches directly with
+// forged host messages: anomalies a healthy host never produces, which
+// the guard must absorb without wedging (it is host hardware, but
+// defensive against misconfiguration and future host changes).
+
+func forgedSystem(host HostKind, t *testing.T) *System {
+	t.Helper()
+	return Build(Spec{Host: host, Org: OrgXGFull1L, CPUs: 2, AccelCores: 1,
+		Seed: 71, Timeout: 10_000})
+}
+
+func TestGuardAbsorbsStrayHostResponses(t *testing.T) {
+	for _, host := range []HostKind{HostHammer, HostMESI} {
+		host := host
+		t.Run(host.String(), func(t *testing.T) {
+			s := forgedSystem(host, t)
+			g := s.Guards[0]
+			hostNode := coherence.NodeID(1)
+			var stray []*coherence.Msg
+			if host == HostHammer {
+				stray = []*coherence.Msg{
+					{Type: coherence.HWBAck, Addr: 0x1000, Src: hostNode, Dst: g.ID()},
+					{Type: coherence.HMemData, Addr: 0x1040, Src: hostNode, Dst: g.ID(), Data: mem.Zero()},
+					{Type: coherence.HAck, Addr: 0x1080, Src: hostNode, Dst: g.ID()},
+					{Type: coherence.HNack, Addr: 0x10c0, Src: hostNode, Dst: g.ID()},
+				}
+			} else {
+				stray = []*coherence.Msg{
+					{Type: coherence.MWBAck, Addr: 0x1000, Src: hostNode, Dst: g.ID()},
+					{Type: coherence.MDataS, Addr: 0x1040, Src: hostNode, Dst: g.ID(), Data: mem.Zero()},
+					{Type: coherence.MInvAck, Addr: 0x1080, Src: hostNode, Dst: g.ID()},
+				}
+			}
+			for _, m := range stray {
+				s.Fab.Send(m)
+			}
+			s.Eng.RunUntilQuiet()
+			if s.Log.Count() == 0 {
+				t.Fatal("stray host responses not reported")
+			}
+			// The guard must remain fully functional afterwards.
+			var got byte
+			s.AccelSeqs[0].Store(0x2000, 3, func(*seq.Op) {
+				s.AccelSeqs[0].Load(0x2000, func(op *seq.Op) { got = op.Result })
+			})
+			s.Eng.RunUntilQuiet()
+			if got != 3 {
+				t.Fatalf("guard wedged after stray responses: read %d", got)
+			}
+			if g.Outstanding() != 0 {
+				t.Fatal("guard transactions leaked")
+			}
+		})
+	}
+}
+
+// TestGuardAnswersForwardForUnheldBlock: the host (mis)believes the guard
+// owns a block the accelerator never touched. The Full State guard must
+// keep the host alive with zero data and report the inconsistency.
+func TestGuardAnswersForwardForUnheldBlock(t *testing.T) {
+	s := forgedSystem(HostMESI, t)
+	g := s.Guards[0]
+	// Forge an owner-forward straight at the guard; the "requestor" is a
+	// ghost so its zero-data answer simply leaves the system.
+	s.Fab.Send(&coherence.Msg{Type: coherence.MFwdGetM, Addr: 0x3000,
+		Src: 1, Dst: g.ID(), Requestor: 999})
+	s.Eng.RunUntil(2_000)
+	if s.Log.ByCode["XG.G2a"] == 0 {
+		t.Fatalf("forward-to-non-owner not reported: %v", s.Log.ByCode)
+	}
+	// The requestor received *something* (zero data), so it is not
+	// stranded — drain whatever transaction state the forgery created.
+	s.Eng.RunUntilQuiet()
+}
+
+// TestStressLarger runs the §4.1 tester on wider machines (4 CPUs, 4
+// accelerator cores) for the guard organizations.
+func TestStressLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stress")
+	}
+	for _, host := range []HostKind{HostHammer, HostMESI} {
+		for _, org := range []Org{OrgXGFull1L, OrgXGTxn2L} {
+			host, org := host, org
+			t.Run(fmt.Sprintf("%v/%v", host, org), func(t *testing.T) {
+				s := Build(Spec{Host: host, Org: org, CPUs: 4, AccelCores: 4,
+					Seed: 83, Small: true})
+				cfg := tester.DefaultConfig(84)
+				cfg.StoresPerLoc = 40
+				cfg.Deadline = 200_000_000
+				res, err := tester.Run(s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stores == 0 {
+					t.Fatal("no work done")
+				}
+				if s.Log.Count() != 0 {
+					t.Fatalf("errors: %v", s.Log.Errors[0])
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/sim"
+)
+
+func TestRateLimitBurstThenSustained(t *testing.T) {
+	rl := NewRateLimit(4, 10) // 4 burst, 1 per 10 ticks
+	now := sim.Time(0)
+	// Burst drains freely.
+	for i := 0; i < 4; i++ {
+		if w := rl.Admit(now); w != 0 {
+			t.Fatalf("burst request %d delayed by %d", i, w)
+		}
+	}
+	// The fifth must wait ~10 ticks; a sixth queues behind it.
+	w := rl.Admit(now)
+	if w == 0 || w > 11 {
+		t.Fatalf("post-burst wait = %d, want ~10", w)
+	}
+	w2 := rl.Admit(now)
+	if w2 <= w || w2 > 21 {
+		t.Fatalf("queued wait = %d, want ~20 (> %d)", w2, w)
+	}
+}
+
+func TestRateLimitQueueSpacing(t *testing.T) {
+	// A burst of simultaneous requests is served at the configured rate:
+	// the n-th waits roughly n*period (queue semantics).
+	rl := NewRateLimit(1, 100)
+	var last sim.Time
+	for i := 0; i < 50; i++ {
+		w := rl.Admit(0)
+		if i == 0 {
+			if w != 0 {
+				t.Fatalf("first request delayed by %d", w)
+			}
+			continue
+		}
+		if w < last {
+			t.Fatalf("request %d served before its predecessor (%d < %d)", i, w, last)
+		}
+		last = w
+	}
+	if last < 4800 || last > 5200 {
+		t.Fatalf("50th request delayed %d, want ~4900 (49 periods)", last)
+	}
+}
+
+func TestRateLimitClampsBadConfig(t *testing.T) {
+	rl := NewRateLimit(0, 0)
+	if rl.Capacity != 1 || rl.PerTick != 1 {
+		t.Fatalf("bad config not clamped: %+v", rl)
+	}
+}
+
+// Property: the limiter never admits more than capacity + elapsed*rate
+// requests over any span, regardless of the arrival pattern.
+func TestPropertyRateLimitBound(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		rl := NewRateLimit(5, 20)
+		now := sim.Time(0)
+		admitted := 0
+		for _, g := range gaps {
+			now += sim.Time(g)
+			if rl.Admit(now) == 0 {
+				admitted++
+			}
+		}
+		bound := 5 + int(now/20) + 1
+		return admitted <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockTableCheckRequest(t *testing.T) {
+	tb := newBlockTable()
+	addr := mem.Addr(0x1000)
+
+	// Nothing held: Gets legal, Puts are violations.
+	for _, ty := range []coherence.MsgType{coherence.AGetS, coherence.AGetM} {
+		if msg := tb.checkRequest(addr, ty); msg != "" {
+			t.Errorf("%v on empty table flagged: %s", ty, msg)
+		}
+	}
+	for _, ty := range []coherence.MsgType{coherence.APutM, coherence.APutE, coherence.APutS} {
+		if msg := tb.checkRequest(addr, ty); msg == "" {
+			t.Errorf("%v on empty table not flagged", ty)
+		}
+	}
+
+	// Held in S: GetM (upgrade) and PutS legal; GetS/PutM/PutE not.
+	tb.grant(addr, GrantS, GrantS, false, mem.Zero(), false)
+	if tb.checkRequest(addr, coherence.AGetM) != "" || tb.checkRequest(addr, coherence.APutS) != "" {
+		t.Error("legal S-state requests flagged")
+	}
+	for _, ty := range []coherence.MsgType{coherence.AGetS, coherence.APutM, coherence.APutE} {
+		if tb.checkRequest(addr, ty) == "" {
+			t.Errorf("%v from S not flagged", ty)
+		}
+	}
+
+	// Held in E: PutE and PutM (silent upgrade) legal.
+	tb.grant(addr, GrantE, GrantE, false, mem.Zero(), false)
+	if tb.checkRequest(addr, coherence.APutE) != "" || tb.checkRequest(addr, coherence.APutM) != "" {
+		t.Error("legal E-state puts flagged")
+	}
+	if tb.checkRequest(addr, coherence.APutS) == "" || tb.checkRequest(addr, coherence.AGetM) == "" {
+		t.Error("illegal E-state requests not flagged")
+	}
+
+	// Held in M: only PutM legal.
+	tb.grant(addr, GrantM, GrantM, false, mem.Zero(), true)
+	if tb.checkRequest(addr, coherence.APutM) != "" {
+		t.Error("PutM from M flagged")
+	}
+	for _, ty := range []coherence.MsgType{coherence.AGetS, coherence.AGetM, coherence.APutE, coherence.APutS} {
+		if tb.checkRequest(addr, ty) == "" {
+			t.Errorf("%v from M not flagged", ty)
+		}
+	}
+}
+
+func TestBlockTableCopiesAndStorage(t *testing.T) {
+	tb := newBlockTable()
+	tb.grant(0x0, GrantS, GrantE, true, mem.Zero(), false) // read-only owned: copy kept
+	tb.grant(0x40, GrantM, GrantM, false, mem.Zero(), true)
+	if tb.entries() != 2 || tb.copies() != 1 {
+		t.Fatalf("entries=%d copies=%d", tb.entries(), tb.copies())
+	}
+	tb.drop(0x0)
+	if tb.entries() != 1 || tb.copies() != 0 {
+		t.Fatalf("after drop: entries=%d copies=%d", tb.entries(), tb.copies())
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if FullState.String() != "FullState" || Transactional.String() != "Transactional" {
+		t.Error("Mode strings wrong")
+	}
+	if GrantS.String() != "S" || GrantE.String() != "E" || GrantM.String() != "M" {
+		t.Error("Grant strings wrong")
+	}
+	for v, want := range map[viewState]string{viewNone: "None", viewS: "S", viewE: "E", viewM: "M", viewUnknown: "Unknown"} {
+		if v.String() != want {
+			t.Errorf("viewState %q != %q", v.String(), want)
+		}
+	}
+	if !viewM.owned() || !viewE.owned() || viewS.owned() || viewNone.owned() {
+		t.Error("viewState.owned wrong")
+	}
+}

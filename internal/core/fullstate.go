@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+)
+
+// blockEntry records the Full State guard's trusted view of one block the
+// accelerator holds (§2.3.1).
+type blockEntry struct {
+	accel Grant // what the accelerator was granted (S/E/M)
+	host  Grant // what the host believes this guard holds
+	// copy is a trusted data copy, kept when the host granted ownership
+	// of a block the accelerator may only read (Guarantee 0b) so the
+	// guard can answer forwards without trusting the accelerator.
+	copy  *mem.Block
+	dirty bool
+}
+
+// blockTable is the Full State guard's inclusive directory of every block
+// resident in the accelerator hierarchy. Because the interface requires
+// PutS, the table tracks exactly the accelerator's contents.
+type blockTable struct {
+	blocks map[mem.Addr]*blockEntry
+	// peak tracks the high-water mark for storage reporting.
+	peak int
+}
+
+func newBlockTable() *blockTable {
+	return &blockTable{blocks: make(map[mem.Addr]*blockEntry)}
+}
+
+func (t *blockTable) grant(addr mem.Addr, accel, host Grant, keepCopy bool, data *mem.Block, dirty bool) {
+	e := &blockEntry{accel: accel, host: host, dirty: dirty}
+	if keepCopy {
+		e.copy = data.Copy()
+	}
+	t.blocks[addr] = e
+	if len(t.blocks) > t.peak {
+		t.peak = len(t.blocks)
+	}
+}
+
+func (t *blockTable) lookup(addr mem.Addr) *blockEntry { return t.blocks[addr] }
+
+func (t *blockTable) drop(addr mem.Addr) { delete(t.blocks, addr) }
+
+func (t *blockTable) entries() int { return len(t.blocks) }
+
+func (t *blockTable) copies() int {
+	n := 0
+	for _, e := range t.blocks {
+		if e.copy != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// checkRequest enforces Guarantee 1a: the request must be consistent with
+// the accelerator's stable state as tracked by the table. It returns a
+// violation description, or "" when the request is legal.
+func (t *blockTable) checkRequest(addr mem.Addr, ty coherence.MsgType) string {
+	e := t.blocks[addr]
+	switch ty {
+	case coherence.AGetS:
+		if e != nil {
+			return fmt.Sprintf("GetS but the accelerator already holds the block in %v", e.accel)
+		}
+	case coherence.AGetM:
+		if e != nil && e.accel != GrantS {
+			return fmt.Sprintf("GetM but the accelerator already holds the block in %v", e.accel)
+		}
+	case coherence.APutM:
+		if e == nil {
+			return "PutM for a block the accelerator does not hold"
+		}
+		if e.accel == GrantS {
+			return "PutM for a block held only in S"
+		}
+	case coherence.APutE:
+		if e == nil {
+			return "PutE for a block the accelerator does not hold"
+		}
+		if e.accel != GrantE {
+			return fmt.Sprintf("PutE for a block held in %v", e.accel)
+		}
+	case coherence.APutS:
+		if e == nil {
+			return "PutS for a block the accelerator does not hold"
+		}
+		if e.accel != GrantS {
+			return fmt.Sprintf("PutS for a block held in %v", e.accel)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,489 @@
+// Package core implements Crossing Guard (XG), the paper's contribution:
+// trusted host hardware that (1) exposes the small standardized coherence
+// interface of §2.1 to an accelerator, (2) translates it to the host
+// protocol (Hammer-like MOESI or inclusive MESI, via per-host shims, §3),
+// and (3) enforces the safety guarantees of Figure 1 so that a buggy or
+// malicious accelerator can never crash, deadlock, or corrupt the host.
+//
+// Two variants are provided (§2.3): Full State, which tracks the state of
+// every block the accelerator holds (a trusted inclusive directory), and
+// Transactional, which tracks only open transactions and relies on the
+// host-protocol tolerance modifications (hostproto/*.Config.TxnMods).
+package core
+
+import (
+	"fmt"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/perm"
+	"crossingguard/internal/sim"
+)
+
+// Mode selects the Crossing Guard variant.
+type Mode int
+
+const (
+	// FullState tracks every block held by the accelerator (§2.3.1).
+	FullState Mode = iota
+	// Transactional tracks only open transactions (§2.3.2).
+	Transactional
+)
+
+func (m Mode) String() string {
+	if m == FullState {
+		return "FullState"
+	}
+	return "Transactional"
+}
+
+// Grant is the privilege level obtained from the host for a block.
+type Grant int
+
+const (
+	GrantS Grant = iota
+	GrantE
+	GrantM
+)
+
+func (g Grant) String() string { return [...]string{"S", "E", "M"}[g] }
+
+// GetKind classifies host-side get requests.
+type GetKind int
+
+const (
+	GetShared     GetKind = iota
+	GetSharedOnly         // non-upgradable (read-only pages, §3.2)
+	GetExcl
+)
+
+// hostShim is the host-protocol-specific half of Crossing Guard. The
+// guard core calls down; the shim calls back via the guard's grant/put
+// hooks. Shims also receive all host-protocol messages.
+type hostShim interface {
+	// get issues a host request for a block.
+	get(addr mem.Addr, kind GetKind)
+	// put starts a host writeback carrying data (dirty=false for PutE).
+	put(addr mem.Addr, data *mem.Block, dirty bool)
+	// putS notifies the host of a shared eviction, if the host wants it.
+	putS(addr mem.Addr)
+	// suppressPutS reports whether this host allows silent S eviction
+	// (Crossing Guard then drops PutS, §2.1).
+	suppressPutS() bool
+	// recv handles a host-protocol message.
+	recv(m *coherence.Msg)
+	// busy reports whether the shim has an open host-side transaction
+	// for the line (the guard defers new accelerator requests for it).
+	busy(addr mem.Addr) bool
+	// outstanding reports open host-side transactions.
+	outstanding() int
+}
+
+// Config parameterizes a Crossing Guard instance.
+type Config struct {
+	Mode Mode
+	// Perms is the Border-Control-style page permission table
+	// (Guarantee 0). A nil table allows everything (stress testing).
+	Perms *perm.Table
+	// Timeout is the Guarantee 2c deadline for accelerator responses to
+	// Invalidate; 0 disables the watchdog.
+	Timeout sim.Time
+	// GuardLat is the processing latency added per crossing message.
+	GuardLat sim.Time
+	// Rate, when non-nil, bounds accelerator request bandwidth (§2.5).
+	Rate *RateLimit
+	// DisableAfter disables the accelerator after this many guarantee
+	// violations (0 = never disable); disabled accelerators have their
+	// requests dropped while the guard keeps answering the host.
+	DisableAfter int
+}
+
+// Guard is one Crossing Guard instance: the trusted boundary between one
+// accelerator cache hierarchy and the host coherence protocol.
+type Guard struct {
+	id    coherence.NodeID
+	name  string
+	eng   *sim.Engine
+	fab   *network.Fabric
+	cfg   Config
+	sink  coherence.ErrorSink
+	accel coherence.NodeID
+	shim  hostShim
+
+	txns  map[mem.Addr]*accelTxn // open accelerator-initiated transactions (1b)
+	hosts map[mem.Addr]*hostTxn  // open host-initiated recalls (2b, 2c)
+	table *blockTable            // Full State only
+
+	// ignoreInvAck marks addresses whose recall was resolved by a racing
+	// Put; the accelerator's InvAck (sent from B) is consumed silently.
+	ignoreInvAck map[mem.Addr]int
+
+	// Disabled is set once the error policy shuts the accelerator out.
+	Disabled bool
+	errors   int
+
+	// Statistics.
+	PutSSuppressed  uint64 // PutS not forwarded (host evicts S silently)
+	PutSForwarded   uint64
+	SnoopsFiltered  uint64 // host requests answered without consulting the accelerator
+	SnoopsForwarded uint64
+	Timeouts        uint64
+	RateDelayed     uint64
+	ReqsBlocked     uint64 // requests dropped by guarantee enforcement
+}
+
+// accelTxn is an open accelerator-initiated transaction.
+type accelTxn struct {
+	kind  coherence.MsgType // AGetS, AGetM, APutM, APutE, APutS
+	data  *mem.Block        // Put payload held at the guard
+	dirty bool
+}
+
+// hostTxn is an open host-initiated recall toward the accelerator.
+type hostTxn struct {
+	wantData bool
+	expect   Grant // what the guard believes the accelerator holds (Full State)
+	known    bool  // expect is authoritative
+	done     func(data *mem.Block, dirty bool, viaPut bool)
+	timer    func() // cancel for the 2c watchdog
+	closed   bool
+}
+
+// NewGuard builds the guard core; a shim must be attached with
+// attachShim (done by NewHammerGuard / NewMESIGuard).
+func newGuard(id coherence.NodeID, name string, eng *sim.Engine, fab *network.Fabric,
+	accel coherence.NodeID, cfg Config, sink coherence.ErrorSink) *Guard {
+	g := &Guard{
+		id: id, name: name, eng: eng, fab: fab, cfg: cfg, sink: sink, accel: accel,
+		txns:         make(map[mem.Addr]*accelTxn),
+		hosts:        make(map[mem.Addr]*hostTxn),
+		ignoreInvAck: make(map[mem.Addr]int),
+	}
+	if cfg.Mode == FullState {
+		g.table = newBlockTable()
+	}
+	fab.Register(g)
+	return g
+}
+
+// ID implements coherence.Controller.
+func (g *Guard) ID() coherence.NodeID { return g.id }
+
+// Name implements coherence.Controller.
+func (g *Guard) Name() string { return g.name }
+
+// Recv dispatches accelerator-interface messages to the guard core and
+// host-protocol messages to the shim. The accelerator's physical link
+// terminates at the guard, so anything arriving from the accelerator
+// that is not one of the interface's eight message types — in particular
+// raw host-protocol messages a malicious accelerator might forge — is
+// dropped and reported, never forwarded (the API-boundary property of
+// §1/§2).
+func (g *Guard) Recv(m *coherence.Msg) {
+	fromAccel := m.Src == g.accel
+	switch {
+	case m.Type.IsAccelRequest():
+		if !fromAccel {
+			g.violation("XG.BadSource", fmt.Sprintf("%v from non-accelerator node %d", m.Type, m.Src), m.Addr.Line())
+			return
+		}
+		g.handleAccelRequest(m)
+	case m.Type.IsAccelResponse():
+		if !fromAccel {
+			g.violation("XG.BadSource", fmt.Sprintf("%v from non-accelerator node %d", m.Type, m.Src), m.Addr.Line())
+			return
+		}
+		g.handleAccelResponse(m)
+	default:
+		if fromAccel {
+			g.ReqsBlocked++
+			g.violation("XG.BadMessage", fmt.Sprintf("accelerator sent non-interface message %v", m.Type), m.Addr.Line())
+			return
+		}
+		g.shim.recv(m)
+	}
+}
+
+func (g *Guard) send(m *coherence.Msg) { g.fab.Send(m) }
+
+// after applies the guard's processing latency.
+func (g *Guard) after(fn func()) { g.eng.Schedule(g.cfg.GuardLat, fn) }
+
+// violation records a guarantee violation and applies the error policy.
+func (g *Guard) violation(code, detail string, addr mem.Addr) {
+	g.errors++
+	g.sink.ReportError(coherence.ProtocolError{
+		Where: g.name, Code: code, Addr: addr, Detail: detail,
+	})
+	if g.cfg.DisableAfter > 0 && g.errors >= g.cfg.DisableAfter && !g.Disabled {
+		g.Disabled = true
+		g.sink.ReportError(coherence.ProtocolError{
+			Where: g.name, Code: "XG.Disabled", Addr: addr,
+			Detail: fmt.Sprintf("accelerator disabled after %d violations", g.errors),
+		})
+	}
+}
+
+// --- accelerator requests (GetS, GetM, PutM, PutE, PutS) ---
+
+func (g *Guard) handleAccelRequest(m *coherence.Msg) {
+	if g.Disabled {
+		g.ReqsBlocked++
+		return
+	}
+	// §2.5: rate-limit requests (responses are never delayed). The
+	// limiter hands out a single wait per request (queue semantics).
+	if g.cfg.Rate != nil {
+		if wait := g.cfg.Rate.Admit(g.eng.Now()); wait > 0 {
+			g.RateDelayed++
+			g.eng.Schedule(wait, func() { g.processAccelRequest(m) })
+			return
+		}
+	}
+	g.processAccelRequest(m)
+}
+
+// processAccelRequest runs the guarantee checks after rate admission.
+func (g *Guard) processAccelRequest(m *coherence.Msg) {
+	if g.Disabled {
+		g.ReqsBlocked++
+		return
+	}
+	addr := m.Addr.Line()
+
+	// Guarantee 0: page permissions.
+	access := perm.ReadWrite
+	if g.cfg.Perms != nil {
+		access = g.cfg.Perms.Lookup(addr)
+	}
+	if !access.AllowsRead() {
+		g.ReqsBlocked++
+		g.violation("XG.G0a", fmt.Sprintf("%v for page with no access", m.Type), addr)
+		return
+	}
+	// Guarantee 0b: no exclusive (write) request, and no dirty data,
+	// without page write permission.
+	if m.Type == coherence.AGetM || m.Type == coherence.APutM {
+		if !access.AllowsWrite() {
+			g.ReqsBlocked++
+			g.violation("XG.G0b", fmt.Sprintf("%v for read-only page", m.Type), addr)
+			return
+		}
+	}
+
+	// Defer requests for lines with an open host-side transaction (e.g.
+	// a relinquish writeback still in flight): a cache never issues a
+	// Get while its own Put for the line is outstanding.
+	if _, open := g.txns[addr]; !open {
+		if _, recalling := g.hosts[addr]; !recalling && g.shim.busy(addr) {
+			g.eng.Schedule(1, func() { g.processAccelRequest(m) })
+			return
+		}
+	}
+
+	// Guarantee 1b: at most one outstanding transaction per address.
+	if _, open := g.txns[addr]; open {
+		g.ReqsBlocked++
+		g.violation("XG.G1b", fmt.Sprintf("%v while a transaction is already open", m.Type), addr)
+		return
+	}
+	// A request racing with an open host recall: only a Put is
+	// meaningful (the legitimate Put/Inv race, §2.1); it resolves the
+	// recall. Gets during a recall are deferred until the recall closes.
+	if ht, open := g.hosts[addr]; open {
+		switch m.Type {
+		case coherence.APutM, coherence.APutE, coherence.APutS:
+			g.resolveRecallByPut(addr, ht, m)
+			return
+		default:
+			g.eng.Schedule(1, func() { g.processAccelRequest(m) })
+			return
+		}
+	}
+
+	// Guarantee 1a: request consistent with the stable accelerator
+	// state. Full State checks its table; Transactional relies on host
+	// tolerance (§2.3.2) and can only sanity-check Puts carry data.
+	if g.table != nil {
+		if err := g.table.checkRequest(addr, m.Type); err != "" {
+			g.ReqsBlocked++
+			g.violation("XG.G1a", err, addr)
+			// Every request gets exactly one response: fail Puts fast so
+			// a *correct-but-confused* accelerator is not left hanging.
+			switch m.Type {
+			case coherence.APutM, coherence.APutE, coherence.APutS:
+				g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+			}
+			return
+		}
+	}
+	// Malformed data-carrying requests (Guarantee 1 hygiene).
+	if (m.Type == coherence.APutM || m.Type == coherence.APutE) && m.Data == nil {
+		g.violation("XG.G1a", "Put without data", addr)
+		m = &coherence.Msg{Type: m.Type, Addr: m.Addr, Src: m.Src, Dst: m.Dst, Data: mem.Zero()}
+	}
+
+	g.forwardRequest(addr, m, access)
+}
+
+// forwardRequest opens the transaction synchronously (so that racing
+// host forwards observe it) and dispatches to the host shim after the
+// guard's processing latency. The dispatch re-checks that the very same
+// transaction is still open: a recall can consume a buffered Put in the
+// latency window (the Put/Inv race), in which case nothing reaches the
+// host.
+func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Access) {
+	switch m.Type {
+	case coherence.AGetS, coherence.AGetM:
+		t := &accelTxn{kind: m.Type}
+		g.txns[addr] = t
+		kind := GetExcl
+		if m.Type == coherence.AGetS {
+			kind = GetShared
+			if !access.AllowsWrite() && g.cfg.Mode == Transactional {
+				// Read-only page: never let the host hand us an
+				// upgradable grant (Guarantee 0b). Transactional guards
+				// need the host's non-upgradable GetS (§3.2); Full State
+				// guards may use a plain GetS and keep a trusted data
+				// copy when the host grants ownership anyway (§2.3.1).
+				kind = GetSharedOnly
+			}
+		}
+		g.after(func() {
+			if g.txns[addr] == t {
+				g.shim.get(addr, kind)
+			}
+		})
+	case coherence.APutM, coherence.APutE:
+		t := &accelTxn{kind: m.Type, data: m.Data.Copy(), dirty: m.Type == coherence.APutM}
+		g.txns[addr] = t
+		g.after(func() {
+			if g.txns[addr] == t {
+				g.shim.put(addr, t.data.Copy(), t.dirty)
+			}
+		})
+	case coherence.APutS:
+		if g.shim.suppressPutS() {
+			// Host evicts shared blocks silently; drop the message
+			// (§2.1) and ack the accelerator directly.
+			g.PutSSuppressed++
+		} else {
+			g.PutSForwarded++
+			g.after(func() { g.shim.putS(addr) })
+		}
+		if g.table != nil {
+			g.table.drop(addr)
+		}
+		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+	}
+}
+
+// granted is called by the shim when the host satisfies a get.
+func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool) {
+	t, ok := g.txns[addr]
+	if !ok {
+		panic(fmt.Sprintf("%s: host grant for %v with no transaction", g.name, addr))
+	}
+	delete(g.txns, addr)
+	if data == nil {
+		data = mem.Zero()
+	}
+	// Guarantee 0b: an exclusive grant for a read-only page must be
+	// degraded; the guard keeps the trusted copy so it can answer later
+	// host forwards without the accelerator (§2.3.1).
+	access := perm.ReadWrite
+	if g.cfg.Perms != nil {
+		access = g.cfg.Perms.Peek(addr)
+	}
+	accelLevel := level
+	keepCopy := false
+	if !access.AllowsWrite() && level != GrantS {
+		accelLevel = GrantS
+		keepCopy = true
+	}
+	if g.table != nil {
+		g.table.grant(addr, accelLevel, level, keepCopy, data, dirty)
+	}
+	var ty coherence.MsgType
+	switch {
+	case t.kind == coherence.AGetM || accelLevel == GrantM:
+		ty = coherence.ADataM
+	case accelLevel == GrantE:
+		ty = coherence.ADataE
+	default:
+		ty = coherence.ADataS
+	}
+	g.after(func() { g.sendToAccel(ty, addr, data.Copy(), false) })
+}
+
+// putDone is called by the shim when the host acknowledges a writeback.
+func (g *Guard) putDone(addr mem.Addr) {
+	if _, ok := g.txns[addr]; !ok {
+		// The transaction may have been closed by a racing recall.
+		return
+	}
+	delete(g.txns, addr)
+	if g.table != nil {
+		g.table.drop(addr)
+	}
+	g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+}
+
+// openPut returns the open Put transaction for addr, if any (shims use
+// its buffered data to answer forwards racing with the writeback).
+func (g *Guard) openPut(addr mem.Addr) *accelTxn {
+	if t, ok := g.txns[addr]; ok && t.data != nil {
+		return t
+	}
+	return nil
+}
+
+func (g *Guard) sendToAccel(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool) {
+	g.send(&coherence.Msg{Type: ty, Addr: addr, Src: g.id, Dst: g.accel, Data: data, Dirty: dirty})
+}
+
+// Outstanding reports open guard transactions (for deadlock detection).
+func (g *Guard) Outstanding() int {
+	return len(g.txns) + len(g.hosts) + g.shim.outstanding()
+}
+
+// StorageBytes models the hardware state this guard variant requires
+// (§2.3, experiment E8): Full State pays tag+state per resident block
+// (plus a data copy for read-only-owned blocks); both pay per open
+// transaction.
+func (g *Guard) StorageBytes() int {
+	const tagStateBytes = 6 // ~42-bit tag + state bits, rounded up
+	const txnBytes = 8 + mem.BlockBytes
+	n := (len(g.txns) + len(g.hosts)) * txnBytes
+	if g.table != nil {
+		n += g.table.entries()*tagStateBytes + g.table.copies()*mem.BlockBytes
+	}
+	return n
+}
+
+// Errors reports the number of guarantee violations recorded.
+func (g *Guard) Errors() int { return g.errors }
+
+// Mode reports the guard variant.
+func (g *Guard) Mode() Mode { return g.cfg.Mode }
+
+// VisitBlocks reports the Full State block table (no-op for
+// Transactional guards, which keep no block state).
+func (g *Guard) VisitBlocks(fn func(addr mem.Addr, accel, host Grant, hasCopy bool)) {
+	if g.table == nil {
+		return
+	}
+	for a, e := range g.table.blocks {
+		fn(a, e.accel, e.host, e.copy != nil)
+	}
+}
+
+// TableEntries reports the Full State table occupancy (0 for
+// Transactional).
+func (g *Guard) TableEntries() int {
+	if g.table == nil {
+		return 0
+	}
+	return g.table.entries()
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/sim"
+)
+
+// mesiShim makes Crossing Guard appear to the inclusive MESI host as an
+// ordinary private L1 (paper §3.2.2): it issues GetS/GetInstr/GetM and
+// counts data + invalidation acks; it answers Inv (ack to the requestor),
+// InvToL2 (inclusion recall), Fwd_GetS (data to requestor + copy to L2),
+// and Fwd_GetM (data hand-off); and it forwards PutS because this host
+// tracks exact sharers.
+type mesiShim struct {
+	g  *Guard
+	l2 coherence.NodeID
+
+	gets map[mem.Addr]*mGet
+	puts map[mem.Addr]*mPut
+}
+
+type mGet struct {
+	kind    GetKind
+	needed  int // -1 until the L2 announces the response count
+	got     int
+	data    *mem.Block
+	dirty   bool
+	gotData bool
+	excl    bool // host granted E/M
+}
+
+type mPut struct {
+	data  *mem.Block
+	dirty bool
+}
+
+// NewMESIGuard builds a Crossing Guard instance attached to a MESI host.
+func NewMESIGuard(id coherence.NodeID, name string, eng *sim.Engine, fab *network.Fabric,
+	accel, l2 coherence.NodeID, cfg Config, sink coherence.ErrorSink) *Guard {
+	g := newGuard(id, name, eng, fab, accel, cfg, sink)
+	g.shim = &mesiShim{
+		g: g, l2: l2,
+		gets: make(map[mem.Addr]*mGet),
+		puts: make(map[mem.Addr]*mPut),
+	}
+	return g
+}
+
+func (s *mesiShim) send(m *coherence.Msg) { s.g.send(m) }
+
+func (s *mesiShim) outstanding() int { return len(s.gets) + len(s.puts) }
+
+func (s *mesiShim) busy(addr mem.Addr) bool {
+	_, g := s.gets[addr]
+	_, p := s.puts[addr]
+	return g || p
+}
+
+// suppressPutS: the MESI host keeps exact sharers, so PutS is forwarded.
+func (s *mesiShim) suppressPutS() bool { return false }
+
+func (s *mesiShim) putS(addr mem.Addr) {
+	s.send(&coherence.Msg{Type: coherence.MPutS, Addr: addr, Src: s.g.id, Dst: s.l2})
+}
+
+func (s *mesiShim) get(addr mem.Addr, kind GetKind) {
+	s.gets[addr] = &mGet{kind: kind, needed: -1}
+	ty := coherence.MGetS
+	switch kind {
+	case GetSharedOnly:
+		ty = coherence.MGetInstr
+	case GetExcl:
+		ty = coherence.MGetM
+	}
+	s.send(&coherence.Msg{Type: ty, Addr: addr, Src: s.g.id, Dst: s.l2})
+}
+
+func (s *mesiShim) put(addr mem.Addr, data *mem.Block, dirty bool) {
+	s.puts[addr] = &mPut{data: data, dirty: dirty}
+	s.send(&coherence.Msg{Type: coherence.MPutM, Addr: addr, Src: s.g.id, Dst: s.l2,
+		Data: data.Copy(), Dirty: dirty})
+}
+
+func (s *mesiShim) recv(m *coherence.Msg) {
+	switch m.Type {
+	case coherence.MDataE, coherence.MDataS, coherence.MDataAcks,
+		coherence.MDataOwner, coherence.MInvAck:
+		s.handleResponse(m)
+	case coherence.MWBAck:
+		s.handleWBAck(m)
+	case coherence.MInv:
+		s.handleInv(m)
+	case coherence.MInvToL2:
+		s.handleInvToL2(m)
+	case coherence.MFwdGetS:
+		s.handleFwd(m, false)
+	case coherence.MFwdGetM:
+		s.handleFwd(m, true)
+	default:
+		panic(fmt.Sprintf("%s: unexpected host message %v", s.g.name, m))
+	}
+}
+
+// --- own requests ---
+
+func (s *mesiShim) handleResponse(m *coherence.Msg) {
+	addr := m.Addr.Line()
+	t, ok := s.gets[addr]
+	if !ok {
+		s.g.sink.ReportError(coherence.ProtocolError{Where: s.g.name,
+			Code: "XG.HostAnomaly", Addr: addr, Detail: "response with no open get"})
+		return
+	}
+	complete := false
+	switch m.Type {
+	case coherence.MDataE:
+		t.data, t.gotData, t.excl = m.Data.Copy(), true, true
+		complete = true
+	case coherence.MDataS:
+		t.data, t.gotData = m.Data.Copy(), true
+		complete = true
+	case coherence.MDataAcks:
+		if m.Data != nil {
+			t.data, t.gotData = m.Data.Copy(), true
+		}
+		t.needed = m.Acks
+		t.excl = true
+	case coherence.MDataOwner:
+		if m.Data != nil {
+			t.data, t.gotData = m.Data.Copy(), true
+			t.dirty = m.Dirty
+		}
+		t.got++
+		if t.kind != GetExcl {
+			// An owner hand-off satisfies a GetS directly.
+			complete = true
+		}
+	case coherence.MInvAck:
+		t.got++
+		if t.kind != GetExcl {
+			// A GetS answered by a lone InvAck: only another (buggy)
+			// guard could produce this; tolerate with a zero block.
+			complete = true
+		}
+	}
+	if !complete && (t.needed < 0 || t.got < t.needed) {
+		return
+	}
+	if !t.gotData {
+		t.data = mem.Zero()
+		s.g.sink.ReportError(coherence.ProtocolError{Where: s.g.name,
+			Code: "XG.HostAnomaly", Addr: addr, Detail: "request completed without data"})
+	}
+	delete(s.gets, addr)
+	s.send(&coherence.Msg{Type: coherence.MUnblock, Addr: addr, Src: s.g.id, Dst: s.l2})
+	level := GrantS
+	switch {
+	case t.kind == GetExcl:
+		level = GrantM
+	case t.excl:
+		level = GrantE
+	}
+	s.g.granted(addr, level, t.data, t.dirty)
+}
+
+func (s *mesiShim) handleWBAck(m *coherence.Msg) {
+	addr := m.Addr.Line()
+	if _, ok := s.puts[addr]; !ok {
+		s.g.sink.ReportError(coherence.ProtocolError{Where: s.g.name,
+			Code: "XG.HostAnomaly", Addr: addr, Detail: "WBAck with no open put"})
+		return
+	}
+	delete(s.puts, addr)
+	s.g.putDone(addr)
+}
+
+// --- host-initiated requests ---
+
+// handleInv: the L2 invalidates us as a sharer on another L1's GetM; the
+// ack goes directly to the requestor.
+func (s *mesiShim) handleInv(m *coherence.Msg) {
+	addr := m.Addr.Line()
+	r := m.Requestor
+	if p, busy := s.puts[addr]; busy {
+		// We believed we owned the block and are writing it back while
+		// the L2 believes we are a sharer: ack and let the Put resolve.
+		_ = p
+		s.invAck(addr, r)
+		return
+	}
+	view, _ := s.g.accelHolds(addr)
+	switch view {
+	case viewNone:
+		s.g.SnoopsFiltered++
+		s.invAck(addr, r)
+	default:
+		s.g.startRecall(addr, view, func(data *mem.Block, dirty bool, viaPut bool) {
+			if data != nil {
+				// The accelerator answered an Inv with a writeback; the
+				// data goes to the L2, which acks the requestor on the
+				// accelerator's behalf (host modification, §3.2.2).
+				s.send(&coherence.Msg{Type: coherence.MCopyToL2, Addr: addr, Src: s.g.id,
+					Dst: s.l2, Data: data.Copy(), Dirty: dirty})
+				return
+			}
+			s.invAck(addr, r)
+		})
+	}
+}
+
+// handleInvToL2: inclusion recall; the response goes to the L2 (either an
+// ack or a data copy — the L2 accepts both).
+func (s *mesiShim) handleInvToL2(m *coherence.Msg) {
+	addr := m.Addr.Line()
+	if p, busy := s.puts[addr]; busy {
+		// Our writeback is in flight; answer the recall from its data.
+		s.copyToL2(addr, p.data, p.dirty)
+		return
+	}
+	view, entry := s.g.accelHolds(addr)
+	switch {
+	case view == viewNone:
+		s.g.SnoopsFiltered++
+		s.send(&coherence.Msg{Type: coherence.MInvAckToL2, Addr: addr, Src: s.g.id, Dst: s.l2})
+	case view == viewS && entry != nil && entry.copy != nil:
+		// Read-only block owned by the guard: the accelerator's S copy
+		// still dies, but the trusted copy answers.
+		copyData, copyDirty := entry.copy.Copy(), entry.dirty
+		s.g.startRecall(addr, viewS, func(_ *mem.Block, _ bool, _ bool) {
+			s.copyToL2(addr, copyData, copyDirty)
+		})
+	default:
+		s.g.startRecall(addr, view, func(data *mem.Block, dirty bool, viaPut bool) {
+			if data != nil {
+				s.copyToL2(addr, data, dirty)
+				return
+			}
+			s.send(&coherence.Msg{Type: coherence.MInvAckToL2, Addr: addr, Src: s.g.id, Dst: s.l2})
+		})
+	}
+}
+
+// handleFwd: we are the recorded owner; the requestor needs data, and for
+// Fwd_GetS the L2 needs a downgrade copy too.
+func (s *mesiShim) handleFwd(m *coherence.Msg, getM bool) {
+	addr := m.Addr.Line()
+	r := m.Requestor
+	if p, busy := s.puts[addr]; busy {
+		s.dataOwner(addr, r, p.data, p.dirty)
+		if !getM {
+			s.copyToL2(addr, p.data, p.dirty)
+		}
+		return
+	}
+	view, entry := s.g.accelHolds(addr)
+	switch {
+	case view == viewS && entry != nil && entry.copy != nil:
+		// Read-only owned block: serve from the trusted copy. On a
+		// Fwd_GetS the accelerator may keep its S copy (we downgrade to
+		// a plain sharer); on Fwd_GetM its copy must die first.
+		copyData, copyDirty := entry.copy.Copy(), entry.dirty
+		if !getM {
+			s.g.SnoopsFiltered++
+			s.dataOwner(addr, r, copyData, copyDirty)
+			s.copyToL2(addr, copyData, copyDirty)
+			entry.host = GrantS
+			entry.copy = nil // no longer the owner; the copy is moot
+			return
+		}
+		s.g.startRecall(addr, viewS, func(_ *mem.Block, _ bool, _ bool) {
+			s.dataOwner(addr, r, copyData, copyDirty)
+		})
+	case view == viewE || view == viewM || view == viewUnknown:
+		s.g.startRecall(addr, view, func(data *mem.Block, dirty bool, viaPut bool) {
+			if data == nil {
+				// Transactional mode: the accelerator InvAcked a forward
+				// that demanded data. Forward the ack; the modified host
+				// treats acks and data interchangeably (§3.2.2) and the
+				// L2 still receives a (zero) downgrade copy so its
+				// transaction can close.
+				s.invAck(addr, r)
+				if !getM {
+					s.copyToL2(addr, mem.Zero(), false)
+				}
+				return
+			}
+			s.dataOwner(addr, r, data, dirty)
+			if !getM {
+				s.copyToL2(addr, data, dirty)
+			}
+		})
+	default:
+		// The host believes we own a block the guard knows the
+		// accelerator does not have: answer with zero data to keep the
+		// host alive and report.
+		s.g.violation("XG.G2a", "host forwarded to a non-owner guard", addr)
+		s.dataOwner(addr, r, mem.Zero(), false)
+		if !getM {
+			s.copyToL2(addr, mem.Zero(), false)
+		}
+	}
+}
+
+func (s *mesiShim) invAck(addr mem.Addr, r coherence.NodeID) {
+	s.send(&coherence.Msg{Type: coherence.MInvAck, Addr: addr, Src: s.g.id, Dst: r})
+}
+
+func (s *mesiShim) dataOwner(addr mem.Addr, r coherence.NodeID, data *mem.Block, dirty bool) {
+	s.send(&coherence.Msg{Type: coherence.MDataOwner, Addr: addr, Src: s.g.id, Dst: r,
+		Data: data.Copy(), Dirty: dirty})
+}
+
+func (s *mesiShim) copyToL2(addr mem.Addr, data *mem.Block, dirty bool) {
+	s.send(&coherence.Msg{Type: coherence.MCopyToL2, Addr: addr, Src: s.g.id, Dst: s.l2,
+		Data: data.Copy(), Dirty: dirty})
+}

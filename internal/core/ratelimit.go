@@ -1,0 +1,54 @@
+package core
+
+import "crossingguard/internal/sim"
+
+// RateLimit is the token-bucket request limiter of §2.5: it bounds the
+// rate at which an accelerator can inject requests into the host,
+// protecting shared resources (directory entries, bandwidth) from a
+// flooding accelerator. Responses are never rate-limited. The limiter is
+// configured by OS-controlled registers in the paper; here the fields
+// play that role.
+type RateLimit struct {
+	// Capacity is the bucket size (burst allowance), in requests.
+	Capacity float64
+	// PerTick is the refill rate, in requests per tick.
+	PerTick float64
+
+	tokens float64
+	last   sim.Time
+	primed bool
+}
+
+// NewRateLimit returns a limiter allowing `burst` queued requests and a
+// sustained rate of one request per `period` ticks.
+func NewRateLimit(burst int, period sim.Time) *RateLimit {
+	if burst < 1 {
+		burst = 1
+	}
+	if period < 1 {
+		period = 1
+	}
+	return &RateLimit{Capacity: float64(burst), PerTick: 1 / float64(period)}
+}
+
+// Admit reserves a token and returns how long the caller must wait
+// before proceeding (0 = immediately). The balance may go negative,
+// which models a queue in front of the guard: every request is
+// eventually served, in order, at the configured rate.
+func (r *RateLimit) Admit(now sim.Time) sim.Time {
+	if !r.primed {
+		r.tokens = r.Capacity
+		r.last = now
+		r.primed = true
+	}
+	r.tokens += float64(now-r.last) * r.PerTick
+	if r.tokens > r.Capacity {
+		r.tokens = r.Capacity
+	}
+	r.last = now
+	r.tokens--
+	if r.tokens >= 0 {
+		return 0
+	}
+	return sim.Time(-r.tokens/r.PerTick) + 1
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+)
+
+// viewState is the guard's knowledge of the accelerator's copy of a block.
+type viewState int
+
+const (
+	viewNone viewState = iota
+	viewS
+	viewE
+	viewM
+	viewUnknown
+)
+
+func (v viewState) String() string {
+	return [...]string{"None", "S", "E", "M", "Unknown"}[v]
+}
+
+// owned reports whether the view implies the accelerator must supply data.
+func (v viewState) owned() bool { return v == viewE || v == viewM }
+
+// accelHolds returns the guard's view of addr at the accelerator, plus
+// the Full State entry when one exists.
+//
+// Full State answers from its inclusive table. Transactional deduces what
+// it can (§2.3.2): a page with no permissions cannot be cached by the
+// accelerator (this also closes the coherence side channel, §3.2), and a
+// block with an open Get transaction has not been granted yet; everything
+// else is Unknown and requires consulting the accelerator.
+func (g *Guard) accelHolds(addr mem.Addr) (viewState, *blockEntry) {
+	if g.table != nil {
+		e := g.table.lookup(addr)
+		if e == nil {
+			return viewNone, nil
+		}
+		switch e.accel {
+		case GrantM:
+			return viewM, e
+		case GrantE:
+			return viewE, e
+		default:
+			return viewS, e
+		}
+	}
+	if g.cfg.Perms != nil && !g.cfg.Perms.Peek(addr).AllowsRead() {
+		return viewNone, nil
+	}
+	// Note: an open Get transaction does NOT imply the accelerator holds
+	// nothing — it may hold S and be upgrading. Transactional guards must
+	// consult the accelerator (Invalidate answered from B is harmless).
+	return viewUnknown, nil
+}
+
+// startRecall obtains a block back from the accelerator: it sends the
+// interface's single host request (Inv), arms the Guarantee 2c watchdog,
+// validates the response (2a/2b), and resolves the Put/Inv race. done is
+// invoked exactly once with the recovered data (nil when the accelerator
+// held no data) and whether the resolution came from a racing Put.
+func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem.Block, dirty bool, viaPut bool)) {
+	if _, open := g.hosts[addr]; open {
+		panic(fmt.Sprintf("%s: second concurrent recall for %v (host protocol bug)", g.name, addr))
+	}
+	// A Put already buffered at the guard resolves the recall at once.
+	if t := g.openPut(addr); t != nil {
+		data, dirty := t.data, t.dirty
+		delete(g.txns, addr)
+		if g.table != nil {
+			g.table.drop(addr)
+		}
+		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+		done(data, dirty, true)
+		return
+	}
+	ht := &hostTxn{wantData: expect.owned() || expect == viewUnknown, done: done}
+	switch expect {
+	case viewE, viewM:
+		ht.known = true
+		if expect == viewE {
+			ht.expect = GrantE
+		} else {
+			ht.expect = GrantM
+		}
+	case viewS:
+		ht.known = true
+		ht.expect = GrantS
+	}
+	g.hosts[addr] = ht
+	g.SnoopsForwarded++
+	g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false) })
+	if g.cfg.Timeout > 0 {
+		timeout := g.cfg.Timeout
+		canceled := false
+		ht.timer = func() { canceled = true }
+		g.eng.Schedule(timeout, func() {
+			if canceled || ht.closed {
+				return
+			}
+			g.recallTimeout(addr, ht)
+		})
+	}
+}
+
+// recallTimeout enforces Guarantee 2c: if the accelerator does not answer
+// within the deadline, the guard answers on its behalf (zero or stale
+// data) and reports the error.
+func (g *Guard) recallTimeout(addr mem.Addr, ht *hostTxn) {
+	g.Timeouts++
+	g.violation("XG.G2c", "accelerator did not answer Invalidate within the timeout", addr)
+	g.closeRecall(addr, ht)
+	if ht.wantData {
+		// Prefer the trusted copy when Full State kept one; otherwise a
+		// zero block keeps the host protocol moving.
+		if _, e := g.accelHolds(addr); e != nil && e.copy != nil {
+			ht.done(e.copy.Copy(), e.dirty, false)
+		} else {
+			ht.done(mem.Zero(), true, false)
+		}
+	} else {
+		ht.done(nil, false, false)
+	}
+	if g.table != nil {
+		g.table.drop(addr)
+	}
+}
+
+// resolveRecallByPut handles the legitimate Put/Inv race (§2.1): the
+// accelerator's Put and the guard's Invalidate crossed on the ordered
+// link. The Put data answers the host; the accelerator's InvAck (sent
+// from B) will be consumed silently.
+func (g *Guard) resolveRecallByPut(addr mem.Addr, ht *hostTxn, m *coherence.Msg) {
+	if ht.closed {
+		// Recall already satisfied (e.g. by timeout); treat the Put as
+		// a plain writeback-to-nowhere: ack the accelerator.
+		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+		return
+	}
+	g.closeRecall(addr, ht)
+	g.ignoreInvAck[addr]++
+	var data *mem.Block
+	dirty := false
+	if m.Data != nil {
+		data = m.Data.Copy()
+		dirty = m.Type == coherence.APutM
+	}
+	// Guarantee 2a for the race path, mirroring validateResponse: if the
+	// guard knows the accelerator owned the block, the host MUST receive
+	// data — a data-less racing Put is corrected to a zero-block
+	// writeback (preferring a trusted copy). Conversely, a non-owner
+	// must never inject data into the host.
+	if ht.known && ht.expect != GrantS && data == nil {
+		g.violation("XG.G2a", fmt.Sprintf("racing %v for an owned block carries no data", m.Type), addr)
+		if _, e := g.accelHolds(addr); e != nil && e.copy != nil {
+			data, dirty = e.copy.Copy(), e.dirty
+		} else {
+			data, dirty = mem.Zero(), true
+		}
+	}
+	if ht.known && ht.expect == GrantS && data != nil {
+		g.violation("XG.G2a", fmt.Sprintf("racing %v carries data for a block held only in S", m.Type), addr)
+		data, dirty = nil, false
+	}
+	if g.table != nil {
+		g.table.drop(addr)
+	}
+	g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+	ht.done(data, dirty, true)
+}
+
+func (g *Guard) closeRecall(addr mem.Addr, ht *hostTxn) {
+	ht.closed = true
+	if ht.timer != nil {
+		ht.timer()
+	}
+	delete(g.hosts, addr)
+}
+
+// handleAccelResponse validates and translates the accelerator's three
+// response types (InvAck, CleanWB, DirtyWB).
+func (g *Guard) handleAccelResponse(m *coherence.Msg) {
+	addr := m.Addr.Line()
+	if m.Type == coherence.AInvAck && g.ignoreInvAck[addr] > 0 {
+		// The InvAck a correct accelerator sends from B after the
+		// Put/Inv race; already resolved.
+		if g.ignoreInvAck[addr] == 1 {
+			delete(g.ignoreInvAck, addr)
+		} else {
+			g.ignoreInvAck[addr]--
+		}
+		return
+	}
+	ht, ok := g.hosts[addr]
+	if !ok {
+		// Guarantee 2b: responses are only valid against a pending host
+		// request; block and report.
+		g.violation("XG.G2b", fmt.Sprintf("%v with no pending host request", m.Type), addr)
+		return
+	}
+	data, dirty, errCode := g.validateResponse(addr, ht, m)
+	g.closeRecall(addr, ht)
+	if g.table != nil {
+		g.table.drop(addr)
+	}
+	if errCode != "" {
+		g.violation(errCode, fmt.Sprintf("%v inconsistent with accelerator state", m.Type), addr)
+	}
+	ht.done(data, dirty, false)
+}
+
+// validateResponse enforces Guarantee 2a. Full State corrects responses
+// that contradict its table (the paper's example: an owner answering
+// Invalidate with InvAck becomes a zero-block writeback). Transactional
+// forwards any well-typed response and relies on the host modifications.
+func (g *Guard) validateResponse(addr mem.Addr, ht *hostTxn, m *coherence.Msg) (data *mem.Block, dirty bool, errCode string) {
+	carries := m.Type == coherence.ACleanWB || m.Type == coherence.ADirtyWB
+	if carries && m.Data == nil {
+		// A writeback without data is malformed however you look at it.
+		m = &coherence.Msg{Type: m.Type, Addr: m.Addr, Data: mem.Zero()}
+		errCode = "XG.G2a"
+	}
+	if g.table == nil {
+		// Transactional: pass through.
+		if carries {
+			return m.Data.Copy(), m.Type == coherence.ADirtyWB, errCode
+		}
+		return nil, false, errCode
+	}
+	switch {
+	case ht.known && ht.expect != GrantS: // accelerator owns the block
+		if !carries {
+			// Owner answered with InvAck: substitute a zero-block
+			// writeback (paper §2.2) and report.
+			if _, e := g.accelHolds(addr); e != nil && e.copy != nil {
+				return e.copy.Copy(), e.dirty, "XG.G2a"
+			}
+			return mem.Zero(), true, "XG.G2a"
+		}
+		// Either writeback type is accepted from an owner; data from an
+		// M block is conservatively treated as dirty.
+		return m.Data.Copy(), m.Type == coherence.ADirtyWB || ht.expect == GrantM, errCode
+	default: // accelerator holds at most a shared copy
+		if carries {
+			// Non-owners must not supply data: correct to an ack.
+			return nil, false, "XG.G2a"
+		}
+		return nil, false, errCode
+	}
+}

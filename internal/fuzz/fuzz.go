@@ -1,0 +1,158 @@
+// Package fuzz implements the paper's safety evaluation (§4.2): a
+// pathological accelerator that "bombards the Crossing Guard with a
+// stream of random coherence messages to random addresses", plus a
+// scriptable adversary used to violate each guarantee clause on purpose.
+// The paper's claim under test: "this fuzz testing never leads to a crash
+// or deadlock" of the host, no matter what the accelerator does.
+package fuzz
+
+import (
+	"math/rand"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/sim"
+)
+
+// InvPolicy selects how the attacker answers Invalidate requests.
+type InvPolicy int
+
+const (
+	// InvRandom answers with a random choice of InvAck / CleanWB /
+	// DirtyWB / silence.
+	InvRandom InvPolicy = iota
+	// InvIgnore never answers (forces Guarantee 2c timeouts).
+	InvIgnore
+	// InvAckAlways answers InvAck regardless of state (Guarantee 2a).
+	InvAckAlways
+	// InvWBAlways answers DirtyWB regardless of state (Guarantee 2a).
+	InvWBAlways
+	// InvCorrectAck answers InvAck promptly (a block-less accelerator's
+	// correct behavior).
+	InvCorrectAck
+)
+
+// Attacker is a malicious/broken accelerator endpoint. It never keeps
+// protocol state: it just emits whatever its configuration says.
+type Attacker struct {
+	ID_  coherence.NodeID
+	XG   coherence.NodeID
+	Eng  *sim.Engine
+	Fab  *network.Fabric
+	Rng  *rand.Rand
+	Pool []mem.Addr
+
+	// Policy for host-initiated Invalidates.
+	Policy InvPolicy
+	// IncludeHostTypes also injects raw host-protocol message types,
+	// probing the guard's interface boundary.
+	IncludeHostTypes bool
+	// NilDataProb makes data-bearing messages malformed (nil payload).
+	NilDataProb float64
+
+	// Sent counts injected messages; Grants counts data grants received
+	// (the guard still answers well-formed requests).
+	Sent, Grants, Invs, WBAcks uint64
+}
+
+// NewAttacker builds and registers an attacker as the accelerator node.
+func NewAttacker(id, xg coherence.NodeID, eng *sim.Engine, fab *network.Fabric,
+	seed int64, pool []mem.Addr) *Attacker {
+	a := &Attacker{
+		ID_: id, XG: xg, Eng: eng, Fab: fab,
+		Rng: rand.New(rand.NewSource(seed)), Pool: pool,
+	}
+	fab.Register(a)
+	return a
+}
+
+// ID implements coherence.Controller.
+func (a *Attacker) ID() coherence.NodeID { return a.ID_ }
+
+// Name implements coherence.Controller.
+func (a *Attacker) Name() string { return "attacker" }
+
+// Recv implements coherence.Controller: the attacker sees grants and
+// invalidations and (mis)behaves per its policy.
+func (a *Attacker) Recv(m *coherence.Msg) {
+	switch m.Type {
+	case coherence.ADataS, coherence.ADataE, coherence.ADataM:
+		a.Grants++
+	case coherence.AWBAck:
+		a.WBAcks++
+	case coherence.AInv:
+		a.Invs++
+		a.answerInv(m)
+	}
+}
+
+func (a *Attacker) answerInv(m *coherence.Msg) {
+	policy := a.Policy
+	if policy == InvRandom {
+		policy = []InvPolicy{InvIgnore, InvAckAlways, InvWBAlways, InvCorrectAck}[a.Rng.Intn(4)]
+	}
+	switch policy {
+	case InvIgnore:
+		return
+	case InvAckAlways, InvCorrectAck:
+		a.send(coherence.AInvAck, m.Addr, nil, false)
+	case InvWBAlways:
+		a.send(coherence.ADirtyWB, m.Addr, a.randomBlock(), true)
+	}
+}
+
+// send emits one message to the guard after a small random delay.
+func (a *Attacker) send(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool) {
+	a.Sent++
+	a.Fab.Send(&coherence.Msg{Type: ty, Addr: addr, Src: a.ID_, Dst: a.XG,
+		Data: data, Dirty: dirty})
+}
+
+// Send exposes raw injection for the scripted guarantee tests.
+func (a *Attacker) Send(ty coherence.MsgType, addr mem.Addr, data *mem.Block) {
+	dirty := ty == coherence.APutM || ty == coherence.ADirtyWB
+	a.send(ty, addr, data, dirty)
+}
+
+func (a *Attacker) randomAddr() mem.Addr {
+	return a.Pool[a.Rng.Intn(len(a.Pool))]
+}
+
+func (a *Attacker) randomBlock() *mem.Block {
+	var b mem.Block
+	a.Rng.Read(b[:])
+	return &b
+}
+
+// Rampage schedules count random messages with gaps in [1, maxGap].
+// Messages cover the full accelerator vocabulary (requests AND responses,
+// valid or not for the current state) and, optionally, raw host-protocol
+// types the interface boundary must reject.
+func (a *Attacker) Rampage(count int, maxGap sim.Time) {
+	accelTypes := []coherence.MsgType{
+		coherence.AGetS, coherence.AGetM, coherence.APutM, coherence.APutE,
+		coherence.APutS, coherence.AInvAck, coherence.ACleanWB, coherence.ADirtyWB,
+	}
+	hostTypes := []coherence.MsgType{
+		coherence.HGetM, coherence.HData, coherence.HNack, coherence.HWBData,
+		coherence.MGetM, coherence.MInvAck, coherence.MCopyToL2, coherence.MUnblock,
+	}
+	var fire func(left int)
+	fire = func(left int) {
+		if left == 0 {
+			return
+		}
+		ty := accelTypes[a.Rng.Intn(len(accelTypes))]
+		if a.IncludeHostTypes && a.Rng.Float64() < 0.15 {
+			ty = hostTypes[a.Rng.Intn(len(hostTypes))]
+		}
+		var data *mem.Block
+		if ty.CarriesData() && a.Rng.Float64() >= a.NilDataProb {
+			data = a.randomBlock()
+		}
+		a.send(ty, a.randomAddr(), data, ty == coherence.APutM || ty == coherence.ADirtyWB)
+		a.Eng.Schedule(sim.Time(a.Rng.Int63n(int64(maxGap))+1), func() { fire(left - 1) })
+	}
+	a.Eng.Schedule(1, func() { fire(count) })
+}

@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineMath(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		line Addr
+		off  int
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{63, 0, 63},
+		{64, 64, 0},
+		{0x1234, 0x1200, 0x34},
+		{0xffffffffffffffff, 0xffffffffffffffc0, 63},
+	}
+	for _, c := range cases {
+		if got := c.a.Line(); got != c.line {
+			t.Errorf("%v.Line() = %v, want %v", c.a, got, c.line)
+		}
+		if got := c.a.Offset(); got != c.off {
+			t.Errorf("%v.Offset() = %d, want %d", c.a, got, c.off)
+		}
+	}
+}
+
+func TestPageMath(t *testing.T) {
+	if Addr(0x12345).Page() != 0x12000 {
+		t.Errorf("Page() = %v", Addr(0x12345).Page())
+	}
+	if Addr(4095).Page() != 0 {
+		t.Errorf("Page(4095) = %v", Addr(4095).Page())
+	}
+	if Addr(4096).Page() != 4096 {
+		t.Errorf("Page(4096) = %v", Addr(4096).Page())
+	}
+}
+
+// Property: line/offset decomposition reconstructs the address, the line is
+// block-aligned, and the page contains the line.
+func TestPropertyAddrDecomposition(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		if a.Line()+Addr(a.Offset()) != a {
+			return false
+		}
+		if a.Line()%BlockBytes != 0 || a.Offset() < 0 || a.Offset() >= BlockBytes {
+			return false
+		}
+		return a.Page() <= a.Line() && a.Line() < a.Page()+PageBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockCopyIsDeep(t *testing.T) {
+	var b Block
+	b[0] = 1
+	c := b.Copy()
+	c[0] = 2
+	if b[0] != 1 {
+		t.Fatal("Copy shares storage with original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	var a, b Block
+	if !Equal(&a, &b) || !Equal(nil, nil) || !Equal(nil, Zero()) {
+		t.Fatal("zero blocks should be equal (including nil)")
+	}
+	b[10] = 7
+	if Equal(&a, &b) || Equal(nil, &b) {
+		t.Fatal("distinct blocks reported equal")
+	}
+}
+
+func TestMemoryReadUnwrittenIsZero(t *testing.T) {
+	m := NewMemory()
+	b := m.Read(0x1000)
+	if !Equal(b, Zero()) {
+		t.Fatal("unwritten line not zero")
+	}
+	if m.Peek(0x1000) != nil {
+		t.Fatal("Peek allocated a line")
+	}
+}
+
+func TestMemoryWriteRead(t *testing.T) {
+	m := NewMemory()
+	var b Block
+	b[5] = 42
+	m.Write(0x2001, &b) // unaligned address: stored at line granularity
+	got := m.Read(0x2000)
+	if got[5] != 42 {
+		t.Fatalf("read back %d, want 42", got[5])
+	}
+	// Mutating what we wrote or read must not alias memory.
+	b[5] = 99
+	got[6] = 99
+	again := m.Read(0x2000)
+	if again[5] != 42 || again[6] != 0 {
+		t.Fatal("Memory aliases caller blocks")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := NewMemory()
+	m.StoreByte(0x300f, 0xab)
+	if m.LoadByte(0x300f) != 0xab {
+		t.Fatal("byte write/read mismatch")
+	}
+	if m.LoadByte(0x300e) != 0 {
+		t.Fatal("neighbor byte disturbed")
+	}
+	if m.Lines() != 1 {
+		t.Fatalf("Lines = %d, want 1", m.Lines())
+	}
+}
+
+func TestMemoryNilWrite(t *testing.T) {
+	m := NewMemory()
+	m.StoreByte(0x40, 9)
+	m.Write(0x40, nil)
+	if m.LoadByte(0x40) != 0 {
+		t.Fatal("nil write should zero the line")
+	}
+}
+
+// Property: byte writes to distinct addresses are independent.
+func TestPropertyByteIndependence(t *testing.T) {
+	f := func(a1, a2 uint16, v1, v2 byte) bool {
+		if a1 == a2 {
+			return true
+		}
+		m := NewMemory()
+		m.StoreByte(Addr(a1), v1)
+		m.StoreByte(Addr(a2), v2)
+		return m.LoadByte(Addr(a1)) == v1 && m.LoadByte(Addr(a2)) == v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package network provides the interconnect model: point-to-point
+// channels between protocol agents with configurable latency, optional
+// FIFO ordering, and per-channel traffic accounting.
+//
+// The paper requires the network between Crossing Guard and the
+// accelerator to be ordered, while host and accelerator internals may use
+// unordered networks; both are supported per channel. Buffering is
+// unbounded, so protocol-level deadlock shows up as a quiesced engine with
+// outstanding transactions (caught by harness watchdogs) rather than as
+// network backpressure.
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/sim"
+)
+
+// Config describes one directed channel.
+type Config struct {
+	// Latency is the fixed delivery delay in ticks.
+	Latency sim.Time
+	// Jitter adds a uniformly random extra delay in [0, Jitter]; with
+	// Ordered set, jitter perturbs arrival but never reorders.
+	Jitter sim.Time
+	// Ordered forces FIFO delivery (required accel<->XG, paper §2.1).
+	Ordered bool
+}
+
+type chanKey struct{ src, dst coherence.NodeID }
+
+// Stats accumulates traffic on one directed channel.
+type Stats struct {
+	Msgs, Bytes uint64
+	// ByType counts messages and bytes per message type.
+	MsgsByType  map[coherence.MsgType]uint64
+	BytesByType map[coherence.MsgType]uint64
+}
+
+func newStats() *Stats {
+	return &Stats{
+		MsgsByType:  make(map[coherence.MsgType]uint64),
+		BytesByType: make(map[coherence.MsgType]uint64),
+	}
+}
+
+func (s *Stats) add(m *coherence.Msg) {
+	b := uint64(m.Bytes())
+	s.Msgs++
+	s.Bytes += b
+	s.MsgsByType[m.Type]++
+	s.BytesByType[m.Type] += b
+}
+
+type channel struct {
+	cfg         Config
+	lastArrival sim.Time
+	stats       *Stats
+}
+
+// Fabric routes messages between registered controllers.
+type Fabric struct {
+	eng      *sim.Engine
+	rng      *rand.Rand
+	nodes    map[coherence.NodeID]coherence.Controller
+	chans    map[chanKey]*channel
+	defaults Config
+	routes   map[chanKey]Config
+
+	// Trace, when non-nil, records every delivery (for debugging and
+	// post-mortem dumps on stress-test failure).
+	Trace *Trace
+
+	// Dropped counts sends to unregistered destinations (possible only
+	// when a fuzzing accelerator invents node IDs); they are counted and
+	// discarded rather than crashing the host, mirroring how real
+	// hardware ignores mis-routed packets.
+	Dropped uint64
+}
+
+// NewFabric returns a fabric using eng for delivery scheduling and seed
+// for latency jitter.
+func NewFabric(eng *sim.Engine, seed int64, defaults Config) *Fabric {
+	return &Fabric{
+		eng:      eng,
+		rng:      rand.New(rand.NewSource(seed)),
+		nodes:    make(map[coherence.NodeID]coherence.Controller),
+		chans:    make(map[chanKey]*channel),
+		defaults: defaults,
+		routes:   make(map[chanKey]Config),
+	}
+}
+
+// Register adds a controller as a message endpoint. Registering two
+// controllers with one ID is a wiring bug and panics.
+func (f *Fabric) Register(c coherence.Controller) {
+	if _, dup := f.nodes[c.ID()]; dup {
+		panic(fmt.Sprintf("network: duplicate node %d (%s)", c.ID(), c.Name()))
+	}
+	f.nodes[c.ID()] = c
+}
+
+// Node returns the controller registered under id, or nil.
+func (f *Fabric) Node(id coherence.NodeID) coherence.Controller { return f.nodes[id] }
+
+// SetRoute overrides the channel configuration for src->dst.
+func (f *Fabric) SetRoute(src, dst coherence.NodeID, cfg Config) {
+	f.routes[chanKey{src, dst}] = cfg
+}
+
+// SetRoutePair overrides both directions between a and b.
+func (f *Fabric) SetRoutePair(a, b coherence.NodeID, cfg Config) {
+	f.SetRoute(a, b, cfg)
+	f.SetRoute(b, a, cfg)
+}
+
+func (f *Fabric) channelFor(k chanKey) *channel {
+	if ch, ok := f.chans[k]; ok {
+		return ch
+	}
+	cfg, ok := f.routes[k]
+	if !ok {
+		cfg = f.defaults
+	}
+	ch := &channel{cfg: cfg, stats: newStats()}
+	f.chans[k] = ch
+	return ch
+}
+
+// Send delivers m to m.Dst after the channel's latency. The message must
+// not be mutated after sending.
+func (f *Fabric) Send(m *coherence.Msg) {
+	dst, ok := f.nodes[m.Dst]
+	if !ok {
+		f.Dropped++
+		if f.Trace != nil {
+			f.Trace.Logf(f.eng.Now(), "DROP %v (no such node)", m)
+		}
+		return
+	}
+	ch := f.channelFor(chanKey{m.Src, m.Dst})
+	ch.stats.add(m)
+
+	delay := ch.cfg.Latency
+	if ch.cfg.Jitter > 0 {
+		delay += sim.Time(f.rng.Int63n(int64(ch.cfg.Jitter) + 1))
+	}
+	arrival := f.eng.Now() + delay
+	if ch.cfg.Ordered && arrival < ch.lastArrival {
+		arrival = ch.lastArrival
+	}
+	ch.lastArrival = arrival
+	if f.Trace != nil {
+		f.Trace.Logf(f.eng.Now(), "SEND %v (arr %d)", m, arrival)
+	}
+	f.eng.ScheduleAt(arrival, func() {
+		if f.Trace != nil {
+			f.Trace.Logf(f.eng.Now(), "RECV %v @%s", m, dst.Name())
+		}
+		dst.Recv(m)
+	})
+}
+
+// StatsFor returns traffic counters for the directed channel src->dst
+// (zero-valued if unused).
+func (f *Fabric) StatsFor(src, dst coherence.NodeID) Stats {
+	if ch, ok := f.chans[chanKey{src, dst}]; ok {
+		return *ch.stats
+	}
+	return Stats{}
+}
+
+// VisitStats calls fn for every directed channel with traffic.
+func (f *Fabric) VisitStats(fn func(src, dst coherence.NodeID, s *Stats)) {
+	for k, ch := range f.chans {
+		if ch.stats.Msgs > 0 {
+			fn(k.src, k.dst, ch.stats)
+		}
+	}
+}
+
+// TotalBytes sums traffic over all channels matching the filter (nil
+// filter matches everything).
+func (f *Fabric) TotalBytes(filter func(src, dst coherence.NodeID) bool) uint64 {
+	var n uint64
+	f.VisitStats(func(src, dst coherence.NodeID, s *Stats) {
+		if filter == nil || filter(src, dst) {
+			n += s.Bytes
+		}
+	})
+	return n
+}

@@ -1,0 +1,206 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/sim"
+)
+
+// sink records received messages with arrival times.
+type sink struct {
+	id   coherence.NodeID
+	eng  *sim.Engine
+	got  []*coherence.Msg
+	when []sim.Time
+}
+
+func (s *sink) ID() coherence.NodeID { return s.id }
+func (s *sink) Name() string         { return "sink" }
+func (s *sink) Recv(m *coherence.Msg) {
+	s.got = append(s.got, m)
+	s.when = append(s.when, s.eng.Now())
+}
+
+func setup(seed int64, cfg Config) (*sim.Engine, *Fabric, *sink, *sink) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, seed, cfg)
+	a := &sink{id: 1, eng: eng}
+	b := &sink{id: 2, eng: eng}
+	f.Register(a)
+	f.Register(b)
+	return eng, f, a, b
+}
+
+func TestFixedLatencyDelivery(t *testing.T) {
+	eng, f, _, b := setup(1, Config{Latency: 10})
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	eng.RunUntilQuiet()
+	if len(b.got) != 1 || b.when[0] != 10 {
+		t.Fatalf("got %d msgs, t=%v; want 1 at t=10", len(b.got), b.when)
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, 1, Config{})
+	f.Register(&sink{id: 1, eng: eng})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	f.Register(&sink{id: 1, eng: eng})
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	eng, f, _, _ := setup(1, Config{})
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 99})
+	eng.RunUntilQuiet()
+	if f.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", f.Dropped)
+	}
+}
+
+func TestOrderedChannelFIFO(t *testing.T) {
+	// With heavy jitter, an ordered channel must still deliver in send
+	// order; an unordered channel with the same seed reorders.
+	run := func(ordered bool) []int {
+		eng, f, _, b := setup(42, Config{Latency: 5, Jitter: 50, Ordered: ordered})
+		for i := 0; i < 64; i++ {
+			f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2, Acks: i})
+		}
+		eng.RunUntilQuiet()
+		out := make([]int, len(b.got))
+		for i, m := range b.got {
+			out[i] = m.Acks
+		}
+		return out
+	}
+	inOrder := func(xs []int) bool {
+		for i := 1; i < len(xs); i++ {
+			if xs[i] < xs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if got := run(true); !inOrder(got) {
+		t.Fatalf("ordered channel reordered: %v", got)
+	}
+	if got := run(false); inOrder(got) {
+		t.Fatal("unordered channel with jitter 50 never reordered (suspicious seed)")
+	}
+}
+
+// Property: ordered channels preserve FIFO for any seed and any jitter.
+func TestPropertyOrderedFIFO(t *testing.T) {
+	f := func(seed int64, jitter uint8, n uint8) bool {
+		eng, fab, _, b := setup(seed, Config{Latency: 1, Jitter: sim.Time(jitter), Ordered: true})
+		for i := 0; i < int(n); i++ {
+			fab.Send(&coherence.Msg{Type: coherence.AGetM, Src: 1, Dst: 2, Acks: i})
+		}
+		eng.RunUntilQuiet()
+		if len(b.got) != int(n) {
+			return false
+		}
+		for i, m := range b.got {
+			if m.Acks != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteOverride(t *testing.T) {
+	eng, f, a, b := setup(1, Config{Latency: 100})
+	f.SetRoutePair(1, 2, Config{Latency: 3})
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 2, Dst: 1})
+	eng.RunUntilQuiet()
+	if b.when[0] != 3 || a.when[0] != 3 {
+		t.Fatalf("override latencies: %v %v, want 3", b.when, a.when)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	eng, f, _, _ := setup(1, Config{Latency: 1})
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	f.Send(&coherence.Msg{Type: coherence.ADataM, Src: 1, Dst: 2, Data: mem.Zero()})
+	eng.RunUntilQuiet()
+	s := f.StatsFor(1, 2)
+	if s.Msgs != 2 {
+		t.Fatalf("Msgs = %d", s.Msgs)
+	}
+	wantBytes := uint64(coherence.ControlBytes + coherence.ControlBytes + coherence.DataBytes)
+	if s.Bytes != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", s.Bytes, wantBytes)
+	}
+	if s.MsgsByType[coherence.AGetS] != 1 || s.BytesByType[coherence.ADataM] != 72 {
+		t.Fatalf("per-type stats wrong: %+v", s)
+	}
+	if f.TotalBytes(nil) != wantBytes {
+		t.Fatalf("TotalBytes = %d", f.TotalBytes(nil))
+	}
+	if f.TotalBytes(func(src, dst coherence.NodeID) bool { return src == 2 }) != 0 {
+		t.Fatal("filtered TotalBytes should be 0")
+	}
+	if got := f.StatsFor(2, 1); got.Msgs != 0 {
+		t.Fatal("reverse channel should be empty")
+	}
+}
+
+func TestVisitStats(t *testing.T) {
+	eng, f, _, _ := setup(1, Config{Latency: 1})
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	eng.RunUntilQuiet()
+	n := 0
+	f.VisitStats(func(src, dst coherence.NodeID, s *Stats) { n++ })
+	if n != 1 {
+		t.Fatalf("VisitStats visited %d channels, want 1", n)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Logf(sim.Time(i), "line %d", i)
+	}
+	if tr.Len() != 4 || tr.Total != 10 {
+		t.Fatalf("Len=%d Total=%d", tr.Len(), tr.Total)
+	}
+	dump := tr.Dump()
+	if want := "line 6"; !contains(dump, want) {
+		t.Fatalf("dump missing %q:\n%s", want, dump)
+	}
+	if contains(dump, "line 5") {
+		t.Fatal("dump kept evicted line")
+	}
+}
+
+func TestTraceAttachedToFabric(t *testing.T) {
+	eng, f, _, _ := setup(1, Config{Latency: 1})
+	f.Trace = NewTrace(16)
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	eng.RunUntilQuiet()
+	if f.Trace.Total < 2 { // SEND + RECV
+		t.Fatalf("trace captured %d lines", f.Trace.Total)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

@@ -1,0 +1,62 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"crossingguard/internal/sim"
+)
+
+// Trace is a bounded ring buffer of simulation events, kept cheap enough
+// to leave on during stress tests and dumped only on failure.
+type Trace struct {
+	cap   int
+	lines []string
+	next  int
+	full  bool
+	// Total counts all lines ever logged (including evicted ones).
+	Total uint64
+}
+
+// NewTrace returns a trace holding the last capacity lines.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Trace{cap: capacity, lines: make([]string, capacity)}
+}
+
+// Logf appends a formatted line stamped with simulated time t.
+func (tr *Trace) Logf(t sim.Time, format string, args ...any) {
+	tr.lines[tr.next] = fmt.Sprintf("[%8d] ", t) + fmt.Sprintf(format, args...)
+	tr.next++
+	tr.Total++
+	if tr.next == tr.cap {
+		tr.next = 0
+		tr.full = true
+	}
+}
+
+// Dump renders the buffered lines oldest-first.
+func (tr *Trace) Dump() string {
+	var b strings.Builder
+	if tr.full {
+		for i := tr.next; i < tr.cap; i++ {
+			b.WriteString(tr.lines[i])
+			b.WriteByte('\n')
+		}
+	}
+	for i := 0; i < tr.next; i++ {
+		b.WriteString(tr.lines[i])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Len reports how many lines are currently buffered.
+func (tr *Trace) Len() int {
+	if tr.full {
+		return tr.cap
+	}
+	return tr.next
+}

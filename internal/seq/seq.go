@@ -1,0 +1,201 @@
+// Package seq implements sequencers: the front-end through which a CPU
+// core or accelerator core issues loads and stores to its private cache
+// and observes completions. Sequencers enforce at most one outstanding
+// operation per cache line (further same-line operations queue locally),
+// track per-operation latency, and provide the completion callbacks the
+// random tester and workload generators build on.
+package seq
+
+import (
+	"fmt"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/sim"
+)
+
+// Op is one memory operation in flight.
+type Op struct {
+	Addr   mem.Addr
+	Store  bool
+	Val    byte // store operand
+	Result byte // load result, set at completion
+	Issued sim.Time
+	Done   sim.Time
+	tag    uint64
+	onDone func(*Op)
+}
+
+// Sequencer issues byte-granularity loads and stores to one cache.
+type Sequencer struct {
+	id    coherence.NodeID
+	name  string
+	eng   *sim.Engine
+	fab   *network.Fabric
+	cache coherence.NodeID
+
+	nextTag  uint64
+	inflight map[uint64]*Op
+	perLine  map[mem.Addr]*Op // at most one op outstanding per line
+	lineQ    map[mem.Addr][]*Op
+	issueQ   []*Op // waiting on MaxOutstanding
+
+	// MaxOutstanding bounds concurrently issued operations (0 = 1).
+	MaxOutstanding int
+
+	// Statistics.
+	Loads, Stores  uint64
+	TotalLatency   sim.Time
+	MaxLatency     sim.Time
+	Completed      uint64
+	latencySamples []sim.Time
+
+	// OnQuiesce, when non-nil, fires whenever the sequencer goes from
+	// busy to fully idle.
+	OnQuiesce func()
+}
+
+// New returns a sequencer with the given node id, wired to cache.
+func New(id coherence.NodeID, name string, eng *sim.Engine, fab *network.Fabric, cache coherence.NodeID) *Sequencer {
+	s := &Sequencer{
+		id: id, name: name, eng: eng, fab: fab, cache: cache,
+		inflight:       make(map[uint64]*Op),
+		perLine:        make(map[mem.Addr]*Op),
+		lineQ:          make(map[mem.Addr][]*Op),
+		MaxOutstanding: 16,
+	}
+	fab.Register(s)
+	return s
+}
+
+// ID implements coherence.Controller.
+func (s *Sequencer) ID() coherence.NodeID { return s.id }
+
+// Name implements coherence.Controller.
+func (s *Sequencer) Name() string { return s.name }
+
+// Outstanding reports operations issued or queued but not completed.
+func (s *Sequencer) Outstanding() int {
+	return len(s.inflight) + len(s.issueQ) + s.queuedPerLine()
+}
+
+func (s *Sequencer) queuedPerLine() int {
+	n := 0
+	for _, q := range s.lineQ {
+		n += len(q)
+	}
+	return n
+}
+
+// Load issues a load of one byte; done (optional) runs at completion.
+func (s *Sequencer) Load(addr mem.Addr, done func(*Op)) *Op {
+	op := &Op{Addr: addr, onDone: done}
+	s.submit(op)
+	return op
+}
+
+// Store issues a store of one byte; done (optional) runs at completion.
+func (s *Sequencer) Store(addr mem.Addr, val byte, done func(*Op)) *Op {
+	op := &Op{Addr: addr, Store: true, Val: val, onDone: done}
+	s.submit(op)
+	return op
+}
+
+func (s *Sequencer) submit(op *Op) {
+	max := s.MaxOutstanding
+	if max <= 0 {
+		max = 1
+	}
+	if len(s.inflight) >= max {
+		s.issueQ = append(s.issueQ, op)
+		return
+	}
+	s.tryIssue(op)
+}
+
+func (s *Sequencer) tryIssue(op *Op) {
+	line := op.Addr.Line()
+	if _, busy := s.perLine[line]; busy {
+		s.lineQ[line] = append(s.lineQ[line], op)
+		return
+	}
+	s.nextTag++
+	op.tag = s.nextTag
+	op.Issued = s.eng.Now()
+	s.inflight[op.tag] = op
+	s.perLine[line] = op
+	ty := coherence.ReqLoad
+	if op.Store {
+		ty = coherence.ReqStore
+	}
+	s.fab.Send(&coherence.Msg{
+		Type: ty, Addr: op.Addr, Src: s.id, Dst: s.cache,
+		Val: op.Val, Tag: op.tag,
+	})
+}
+
+// Recv handles completion messages from the cache.
+func (s *Sequencer) Recv(m *coherence.Msg) {
+	switch m.Type {
+	case coherence.RespLoad, coherence.RespStore:
+	default:
+		panic(fmt.Sprintf("%s: unexpected message %v", s.name, m))
+	}
+	op, ok := s.inflight[m.Tag]
+	if !ok {
+		panic(fmt.Sprintf("%s: completion for unknown tag %d (%v)", s.name, m.Tag, m))
+	}
+	delete(s.inflight, m.Tag)
+	line := op.Addr.Line()
+	delete(s.perLine, line)
+
+	op.Done = s.eng.Now()
+	op.Result = m.Val
+	lat := op.Done - op.Issued
+	s.Completed++
+	s.TotalLatency += lat
+	if lat > s.MaxLatency {
+		s.MaxLatency = lat
+	}
+	s.latencySamples = append(s.latencySamples, lat)
+	if op.Store {
+		s.Stores++
+	} else {
+		s.Loads++
+	}
+
+	// Wake a same-line queued op first (preserves program order per
+	// line), then any op waiting on the outstanding limit.
+	if q := s.lineQ[line]; len(q) > 0 {
+		next := q[0]
+		if len(q) == 1 {
+			delete(s.lineQ, line)
+		} else {
+			s.lineQ[line] = q[1:]
+		}
+		s.tryIssue(next)
+	} else if len(s.issueQ) > 0 {
+		next := s.issueQ[0]
+		s.issueQ = s.issueQ[1:]
+		s.tryIssue(next)
+	}
+
+	if op.onDone != nil {
+		op.onDone(op)
+	}
+	if s.Outstanding() == 0 && s.OnQuiesce != nil {
+		s.OnQuiesce()
+	}
+}
+
+// AvgLatency returns the mean completion latency in ticks.
+func (s *Sequencer) AvgLatency() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Completed)
+}
+
+// Latencies returns all recorded per-op latencies (for histograms).
+func (s *Sequencer) Latencies() []sim.Time { return s.latencySamples }

@@ -1,0 +1,214 @@
+// Package tester implements the random protocol stress tester of paper
+// §4.1, modeled on the gem5-Ruby random tester the authors used: it makes
+// "rapid loads and stores to random addresses and checks correctness of
+// the data", using a small address pool and small caches so replacements
+// and races are frequent.
+//
+// Each location (a byte address) cycles through: pick a random core,
+// store a new value; once the store completes, issue verifying loads from
+// random cores, each of which must observe the stored value (coherence
+// makes a completed store globally visible); repeat. Locations progress
+// concurrently, and several locations share each cache line, so lines
+// ping-pong between cores with reads and writes in flight simultaneously.
+package tester
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crossingguard/internal/mem"
+	"crossingguard/internal/seq"
+	"crossingguard/internal/sim"
+)
+
+// System is what the tester needs from a simulated machine.
+type System interface {
+	// Engine returns the machine's event engine.
+	Engine() *sim.Engine
+	// Sequencers returns the cores to drive.
+	Sequencers() []*seq.Sequencer
+	// Outstanding reports open protocol transactions; nonzero after the
+	// engine quiesces means deadlock.
+	Outstanding() int
+	// Audit checks protocol invariants (SWMR, data agreement) at a
+	// quiesce point; nil means clean.
+	Audit() error
+}
+
+// Config parameterizes a stress run.
+type Config struct {
+	Seed int64
+	// Lines is the number of distinct cache lines in the pool (small to
+	// maximize contention).
+	Lines int
+	// LocsPerLine is how many independently-written byte locations share
+	// each line (false sharing pressure).
+	LocsPerLine int
+	// StoresPerLoc is how many store→verify cycles each location runs.
+	StoresPerLoc int
+	// LoadsPerStore is how many verifying loads follow each store.
+	LoadsPerStore int
+	// BaseAddr offsets the address pool.
+	BaseAddr mem.Addr
+	// Deadline bounds simulated time; exceeding it is a liveness failure.
+	Deadline sim.Time
+	// SkipValueChecks disables load-value verification. Used when an
+	// adversarial agent legitimately corrupts data (paper §2.2.1: the
+	// guard cannot protect data the accelerator may write); liveness and
+	// structural invariants are still enforced.
+	SkipValueChecks bool
+}
+
+// DefaultConfig returns a reasonable stress configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Lines:         8,
+		LocsPerLine:   2,
+		StoresPerLoc:  50,
+		LoadsPerStore: 2,
+		BaseAddr:      0x10000,
+		Deadline:      20_000_000,
+	}
+}
+
+// Result summarizes a stress run.
+type Result struct {
+	Stores, Loads uint64
+	// LoadChecks counts loads whose value was verified.
+	LoadChecks uint64
+	// EndTime is the simulated completion time.
+	EndTime sim.Time
+}
+
+// location is one independently-verified byte address.
+type location struct {
+	addr    mem.Addr
+	value   byte
+	rounds  int
+	hasEver bool
+}
+
+type runner struct {
+	sys  System
+	cfg  Config
+	rng  *rand.Rand
+	seqs []*seq.Sequencer
+	res  Result
+	errs []error
+	open int // locations still running
+}
+
+// Run drives the system until every location completes its rounds, then
+// verifies quiescence and invariants. It returns the result and the first
+// detected failure (data mismatch, deadlock, or audit violation).
+func Run(sys System, cfg Config) (Result, error) {
+	if cfg.Lines <= 0 || cfg.LocsPerLine <= 0 || cfg.StoresPerLoc <= 0 {
+		return Result{}, fmt.Errorf("tester: bad config %+v", cfg)
+	}
+	r := &runner{sys: sys, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), seqs: sys.Sequencers()}
+	if len(r.seqs) == 0 {
+		return Result{}, fmt.Errorf("tester: system has no sequencers")
+	}
+
+	var locs []*location
+	for l := 0; l < cfg.Lines; l++ {
+		for o := 0; o < cfg.LocsPerLine; o++ {
+			// Spread locations across the line so neighboring bytes
+			// exercise read-modify-write correctness.
+			off := o * (mem.BlockBytes / cfg.LocsPerLine)
+			locs = append(locs, &location{
+				addr: cfg.BaseAddr + mem.Addr(l*mem.BlockBytes+off),
+			})
+		}
+	}
+	r.open = len(locs)
+	eng := sys.Engine()
+	for _, loc := range locs {
+		loc := loc
+		eng.Schedule(sim.Time(r.rng.Intn(16)), func() { r.startStore(loc) })
+	}
+
+	quiet := eng.RunUntil(cfg.Deadline)
+	r.res.EndTime = eng.Now()
+	if len(r.errs) > 0 {
+		return r.res, r.errs[0]
+	}
+	if r.open > 0 {
+		if quiet {
+			return r.res, fmt.Errorf("tester: DEADLOCK at t=%d: engine quiesced with %d locations open, %d protocol txns outstanding",
+				eng.Now(), r.open, sys.Outstanding())
+		}
+		return r.res, fmt.Errorf("tester: LIVENESS: deadline %d reached with %d locations open", cfg.Deadline, r.open)
+	}
+	if !quiet {
+		// Locations finished but residual events remain; drain them.
+		if !eng.RunUntil(cfg.Deadline * 2) {
+			return r.res, fmt.Errorf("tester: engine failed to drain after completion")
+		}
+	}
+	if n := sys.Outstanding(); n != 0 {
+		return r.res, fmt.Errorf("tester: %d protocol transactions still open after quiesce", n)
+	}
+	if err := sys.Audit(); err != nil {
+		return r.res, fmt.Errorf("tester: audit failed: %w", err)
+	}
+	return r.res, nil
+}
+
+func (r *runner) fail(err error) { r.errs = append(r.errs, err) }
+
+func (r *runner) pick() *seq.Sequencer {
+	return r.seqs[r.rng.Intn(len(r.seqs))]
+}
+
+func (r *runner) startStore(loc *location) {
+	if len(r.errs) > 0 {
+		r.open = 0
+		r.sys.Engine().Stop()
+		return
+	}
+	val := byte(r.rng.Intn(255) + 1) // never 0, so "never written" is distinguishable
+	s := r.pick()
+	s.Store(loc.addr, val, func(*seq.Op) {
+		r.res.Stores++
+		loc.value = val
+		loc.hasEver = true
+		r.startChecks(loc, r.cfg.LoadsPerStore)
+	})
+}
+
+func (r *runner) startChecks(loc *location, remaining int) {
+	if len(r.errs) > 0 {
+		r.open = 0
+		r.sys.Engine().Stop()
+		return
+	}
+	if remaining == 0 {
+		loc.rounds++
+		if loc.rounds >= r.cfg.StoresPerLoc {
+			r.open--
+			return
+		}
+		// Small random think time decorrelates the locations.
+		r.sys.Engine().Schedule(sim.Time(r.rng.Intn(8)), func() { r.startStore(loc) })
+		return
+	}
+	s := r.pick()
+	expect := loc.value
+	s.Load(loc.addr, func(op *seq.Op) {
+		r.res.Loads++
+		if r.cfg.SkipValueChecks {
+			r.startChecks(loc, remaining-1)
+			return
+		}
+		r.res.LoadChecks++
+		if op.Result != expect {
+			r.fail(fmt.Errorf("tester: DATA ERROR at %v: loaded %d, want %d (t=%d, core %s)",
+				loc.addr, op.Result, expect, r.sys.Engine().Now(), s.Name()))
+			r.sys.Engine().Stop()
+			return
+		}
+		r.startChecks(loc, remaining-1)
+	})
+}
