@@ -1,0 +1,207 @@
+// Command xgcampaign is the parallel stress/fuzz campaign runner: it
+// fans (configuration x seed) shards of the E3 stress tester and E4
+// fuzzer across a worker pool, merges per-controller coverage
+// deterministically (output is byte-identical for a fixed shard set
+// regardless of -workers), and captures a reproduction artifact for
+// every failing shard.
+//
+// Usage:
+//
+//	xgcampaign [-mode stress|fuzz|all] [-seeds N] [-workers N]
+//	           [-budget 30s] [-stores N] [-messages N] [-cpus N] [-cores N]
+//	           [-checked] [-coverage=false]
+//	xgcampaign -repro 'kind=stress host=hammer org=xg-full/1L seed=3 ...'
+//
+// Fixed-set mode runs (hosts x organizations x seeds 1..N). Budget mode
+// (-budget) keeps drawing fresh seeds until the wall-clock budget
+// expires, reporting shards/sec, stores/sec, and cumulative transition
+// coverage as it goes. -repro re-runs a single captured shard with the
+// network trace enabled and dumps the trace tail on failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"crossingguard/internal/campaign"
+)
+
+var (
+	mode     = flag.String("mode", "all", "shard kinds to run: stress, fuzz, or all")
+	seeds    = flag.Int("seeds", 5, "random seeds per configuration (fixed-set mode)")
+	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	budget   = flag.Duration("budget", 0, "wall-clock budget; nonzero switches to budgeted mode with unlimited seeds")
+	stores   = flag.Int("stores", 100, "store/check rounds per location (stress shards)")
+	messages = flag.Int("messages", 3000, "fuzz messages per shard (fuzz shards)")
+	cpus     = flag.Int("cpus", 2, "CPU cores per machine")
+	cores    = flag.Int("cores", 2, "accelerator cores per machine (stress shards)")
+	checked  = flag.Bool("checked", false, "fuzz: keep value checks on while the attacker shares pages (deliberately failing buggy-accelerator demo)")
+	coverage = flag.Bool("coverage", true, "print merged state/event coverage")
+	repro    = flag.String("repro", "", "re-run one captured shard spec with tracing enabled")
+)
+
+func main() {
+	flag.Parse()
+	if *repro != "" {
+		os.Exit(runRepro(*repro))
+	}
+
+	var base []campaign.ShardSpec
+	switch *mode {
+	case "stress":
+		base = campaign.StressSweep(1, *cpus, *cores, *stores)
+	case "fuzz":
+		base = campaign.FuzzSweep(1, *cpus, *messages)
+	case "all":
+		base = append(campaign.StressSweep(1, *cpus, *cores, *stores),
+			campaign.FuzzSweep(1, *cpus, *messages)...)
+	default:
+		fmt.Fprintf(os.Stderr, "xgcampaign: unknown -mode %q (want stress, fuzz, or all)\n", *mode)
+		os.Exit(2)
+	}
+	if *checked {
+		for i := range base {
+			if base[i].Kind == campaign.KindFuzz {
+				base[i].CheckValues = true
+			}
+		}
+	}
+
+	opt := campaign.Options{Workers: *workers, Progress: os.Stderr}
+	var rep *campaign.Report
+	if *budget > 0 {
+		opt.Budget = *budget
+		rep = campaign.RunBudget(campaign.BudgetGenerator(base), opt)
+	} else {
+		var specs []campaign.ShardSpec
+		for seed := int64(1); seed <= int64(*seeds); seed++ {
+			for _, s := range base {
+				s.Seed = seed
+				specs = append(specs, s)
+			}
+		}
+		rep = campaign.Run(specs, opt)
+	}
+
+	printReport(rep)
+	if rep.Failures() > 0 {
+		os.Exit(1)
+	}
+}
+
+func printReport(rep *campaign.Report) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "campaign: parallel stress/fuzz shards (paper §4.1/§4.2)")
+	fmt.Fprintln(w, "kind\tconfiguration\tvariant\tshards\tstores\tchecked loads\tmsgs sent\tviolations\tfailures")
+
+	// Group shard results by (kind, configuration, variant) preserving
+	// first-appearance order, which is deterministic in the shard set.
+	type groupKey struct {
+		kind    campaign.Kind
+		name    string
+		variant string
+	}
+	type group struct {
+		shards, failures               int
+		stores, checks, sent, violates uint64
+	}
+	var order []groupKey
+	groups := map[groupKey]*group{}
+	for i := range rep.Shards {
+		s := &rep.Shards[i]
+		key := groupKey{s.Spec.Kind, s.Spec.Name(), variantOf(s.Spec)}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.shards++
+		g.stores += s.Res.Stores
+		g.checks += s.Res.LoadChecks
+		g.sent += s.Sent
+		g.violates += s.Violations
+		if s.Err != nil {
+			g.failures++
+		}
+	}
+	for _, key := range order {
+		g := groups[key]
+		verdict := "0"
+		if g.failures > 0 {
+			verdict = fmt.Sprintf("%d FAIL", g.failures)
+		}
+		fmt.Fprintf(w, "%v\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			key.kind, key.name, key.variant, g.shards, g.stores, g.checks, g.sent, g.violates, verdict)
+	}
+	w.Flush()
+
+	stores, _, checks, sent, violations := rep.Totals()
+	secs := rep.Elapsed.Seconds()
+	fmt.Printf("\n%d shards on %d workers in %.1fs (%.1f shards/s, %.0f stores/s); %d stores, %d checked loads, %d fuzz msgs, %d violations classified\n",
+		len(rep.Shards), rep.Workers, secs,
+		float64(len(rep.Shards))/secs, float64(stores)/secs, stores, checks, sent, violations)
+
+	if *coverage && len(rep.Cov) > 0 {
+		fmt.Println("\nstate/event coverage (visited pairs / declared-possible pairs), merged across shards:")
+		fmt.Print(rep.CoverageTable())
+	}
+
+	if len(rep.ByCode) > 0 {
+		fmt.Println("\nviolations detected, by guarantee / class:")
+		var codes []string
+		for c := range rep.ByCode {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Printf("  %-22s %8d\n", c, rep.ByCode[c])
+		}
+	}
+
+	for _, a := range rep.Artifacts {
+		fmt.Printf("\nFAILED shard %d (%s seed %d): %s\n  repro: %s\n",
+			a.Spec.Index, a.Spec.Name(), a.Spec.Seed, a.Err, a.Repro)
+	}
+}
+
+func variantOf(s campaign.ShardSpec) string {
+	if s.Kind != campaign.KindFuzz {
+		return "-"
+	}
+	switch {
+	case s.Confined:
+		return "confined"
+	case s.CheckValues:
+		return "checked"
+	}
+	return "shared"
+}
+
+func runRepro(spec string) int {
+	s, err := campaign.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
+		return 2
+	}
+	fmt.Printf("re-running shard: %s\n", campaign.FormatSpec(s))
+	start := time.Now()
+	res := campaign.RunShard(s, true)
+	fmt.Printf("stores=%d loads=%d checked=%d sent=%d violations=%d simtime=%d wall=%v\n",
+		res.Res.Stores, res.Res.Loads, res.Res.LoadChecks, res.Sent, res.Violations,
+		res.Res.EndTime, time.Since(start).Round(time.Millisecond))
+	if res.Err == nil {
+		fmt.Println("PASS: shard completed cleanly")
+		return 0
+	}
+	fmt.Printf("FAIL (reproduced): %v\n", res.Err)
+	if res.TraceDump != "" {
+		fmt.Println("\n--- network trace tail ---")
+		fmt.Print(res.TraceDump)
+	}
+	return 1
+}

@@ -6,9 +6,13 @@
 // crash or deadlock" of the host, and every violation is detected and
 // classified against the Figure 1 guarantees.
 //
+// Shards (one per configuration x variant x seed) run in parallel on the
+// campaign worker pool; aggregation is deterministic, so output is
+// identical for any -workers value.
+//
 // Usage:
 //
-//	xgfuzz [-seeds N] [-messages N] [-cpus N]
+//	xgfuzz [-seeds N] [-messages N] [-cpus N] [-workers N]
 package main
 
 import (
@@ -18,103 +22,80 @@ import (
 	"sort"
 	"text/tabwriter"
 
-	"crossingguard/internal/coherence"
-	"crossingguard/internal/config"
-	"crossingguard/internal/fuzz"
-	"crossingguard/internal/mem"
-	"crossingguard/internal/perm"
-	"crossingguard/internal/seq"
-	"crossingguard/internal/tester"
+	"crossingguard/internal/campaign"
 )
 
 var (
 	seeds    = flag.Int("seeds", 5, "random seeds per configuration")
 	messages = flag.Int("messages", 3000, "fuzz messages per run")
 	cpus     = flag.Int("cpus", 2, "CPU cores")
+	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 )
-
-type hostView struct{ *config.System }
-
-func (h hostView) Sequencers() []*seq.Sequencer { return h.CPUSeqs }
-func (h hostView) Outstanding() int             { return h.HostOutstanding() }
-func (h hostView) Audit() error                 { return h.AuditHostOnly() }
 
 func main() {
 	flag.Parse()
+	specs := campaign.FuzzSweep(*seeds, *cpus, *messages)
+	rep := campaign.Run(specs, campaign.Options{Workers: *workers})
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "E4: fuzz testing Crossing Guard (paper §4.2)")
 	fmt.Fprintln(w, "configuration\tvariant\tmsgs sent\tCPU ops checked\tviolations\tresult")
 
-	var pool []mem.Addr
-	for i := 0; i < 8; i++ {
-		pool = append(pool, mem.Addr(0x10000+i*mem.BlockBytes))
+	type key struct {
+		name    string
+		variant string
 	}
-
-	byCode := map[string]uint64{}
+	type row struct {
+		sent, checked, violations uint64
+		failed                    error
+	}
+	var order []key
+	rows := map[key]*row{}
 	failures := 0
-	orgs := []config.Org{config.OrgXGFull1L, config.OrgXGTxn1L, config.OrgXGFull2L, config.OrgXGTxn2L}
-	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
-		for _, org := range orgs {
-			for _, confined := range []bool{false, true} {
-				variant := "shared"
-				var perms *perm.Table
-				if confined {
-					variant = "confined"
-					perms = perm.NewTable() // deny everything
-				}
-				var sent, checked uint64
-				violations := uint64(0)
-				var failed error
-				for seed := int64(1); seed <= int64(*seeds); seed++ {
-					var att *fuzz.Attacker
-					spec := config.Spec{Host: host, Org: org, CPUs: *cpus, AccelCores: 1,
-						Seed: seed * 61, Small: true, Timeout: 5000, Perms: perms,
-						CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
-							att = fuzz.NewAttacker(accelID, xgID, s.Eng, s.Fab, seed*67, pool)
-							att.Policy = fuzz.InvRandom
-							att.IncludeHostTypes = true
-							att.NilDataProb = 0.1
-							return nil
-						}}
-					sys := config.Build(spec)
-					att.Rampage(*messages, 40)
-					cfg := tester.DefaultConfig(seed * 71)
-					cfg.StoresPerLoc = 25
-					cfg.BaseAddr = 0x10000
-					cfg.Deadline = 200_000_000
-					cfg.SkipValueChecks = !confined
-					res, err := tester.Run(hostView{sys}, cfg)
-					sent += att.Sent
-					checked += res.Loads
-					violations += uint64(sys.Log.Count())
-					for code, n := range sys.Log.ByCode {
-						byCode[code] += n
-					}
-					if err != nil {
-						failed = err
-						break
-					}
-				}
-				verdict := "PASS (no crash, no deadlock)"
-				if failed != nil {
-					verdict = "FAIL: " + failed.Error()
-					failures++
-				}
-				fmt.Fprintf(w, "%v/%v\t%s\t%d\t%d\t%d\t%s\n",
-					host, org, variant, sent, checked, violations, verdict)
-			}
+	for i := range rep.Shards {
+		s := &rep.Shards[i]
+		variant := "shared"
+		if s.Spec.Confined {
+			variant = "confined"
 		}
+		k := key{s.Spec.Name(), variant}
+		r, ok := rows[k]
+		if !ok {
+			r = &row{}
+			rows[k] = r
+			order = append(order, k)
+		}
+		r.sent += s.Sent
+		r.checked += s.Res.Loads
+		r.violations += s.Violations
+		if s.Err != nil && r.failed == nil {
+			r.failed = s.Err
+		}
+	}
+	for _, k := range order {
+		r := rows[k]
+		verdict := "PASS (no crash, no deadlock)"
+		if r.failed != nil {
+			verdict = "FAIL: " + r.failed.Error()
+			failures++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%s\n",
+			k.name, k.variant, r.sent, r.checked, r.violations, verdict)
 	}
 	w.Flush()
 
 	fmt.Println("\nviolations detected, by guarantee / class:")
 	var codes []string
-	for c := range byCode {
+	for c := range rep.ByCode {
 		codes = append(codes, c)
 	}
 	sort.Strings(codes)
 	for _, c := range codes {
-		fmt.Printf("  %-22s %8d\n", c, byCode[c])
+		fmt.Printf("  %-22s %8d\n", c, rep.ByCode[c])
+	}
+	for _, a := range rep.Artifacts {
+		fmt.Printf("\nFAILED shard %d (%s seed %d): %s\n  repro: %s\n",
+			a.Spec.Index, a.Spec.Name(), a.Spec.Seed, a.Err, a.Repro)
 	}
 	if failures > 0 {
 		os.Exit(1)

@@ -5,9 +5,13 @@
 // coverage — the same accounting the paper used over its 22 compute-years
 // of testing, at laptop scale.
 //
+// Shards (one per configuration x seed) run in parallel on the campaign
+// worker pool; aggregation is deterministic, so output is identical for
+// any -workers value.
+//
 // Usage:
 //
-//	xgstress [-seeds N] [-stores N] [-cpus N] [-cores N] [-coverage]
+//	xgstress [-seeds N] [-stores N] [-cpus N] [-cores N] [-workers N] [-coverage]
 package main
 
 import (
@@ -16,12 +20,7 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"crossingguard/internal/accel"
-	"crossingguard/internal/coherence"
-	"crossingguard/internal/config"
-	"crossingguard/internal/hostproto/hammer"
-	"crossingguard/internal/hostproto/mesi"
-	"crossingguard/internal/tester"
+	"crossingguard/internal/campaign"
 )
 
 var (
@@ -29,104 +28,69 @@ var (
 	stores   = flag.Int("stores", 100, "store/check rounds per location")
 	cpus     = flag.Int("cpus", 2, "CPU cores")
 	cores    = flag.Int("cores", 2, "accelerator cores")
+	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	coverage = flag.Bool("coverage", true, "print state/event coverage")
 )
 
 func main() {
 	flag.Parse()
+	specs := campaign.StressSweep(*seeds, *cpus, *cores, *stores)
+	rep := campaign.Run(specs, campaign.Options{Workers: *workers})
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "E3: random protocol stress test (paper §4.1)")
 	fmt.Fprintln(w, "configuration\tseeds\tstores\tchecked loads\terrors\tresult")
 
-	// Aggregate coverage across every run, by controller class.
-	covs := map[string]*coherence.Coverage{}
-	record := func(sys *config.System) {
-		for _, l1 := range sys.AccelL1s {
-			covGet(covs, "accel.L1", accel.NewTable1Coverage).Merge(l1.Cov)
+	// Group shards back into per-configuration rows, preserving sweep
+	// order; shards arrive sorted by index, which nests seed innermost.
+	type row struct {
+		name          string
+		stores, loads uint64
+		failed        error
+	}
+	var rows []*row
+	byName := map[string]*row{}
+	failures := 0
+	for i := range rep.Shards {
+		s := &rep.Shards[i]
+		r, ok := byName[s.Spec.Name()]
+		if !ok {
+			r = &row{name: s.Spec.Name()}
+			byName[s.Spec.Name()] = r
+			rows = append(rows, r)
 		}
-		for _, il := range sys.InnerL1s {
-			covGet(covs, "accel2L.L1", accel.NewInnerL1Coverage).Merge(il.Cov)
-		}
-		if sys.AccelL2 != nil {
-			covGet(covs, "accel2L.L2", accel.NewSharedL2Coverage).Merge(sys.AccelL2.Cov)
-		}
-		for _, c := range sys.HCaches {
-			covGet(covs, "hammer.cache", hammer.NewCacheCoverage).Merge(c.Cov)
-		}
-		for _, c := range sys.AccelHCaches {
-			covGet(covs, "hammer.cache", hammer.NewCacheCoverage).Merge(c.Cov)
-		}
-		if sys.HDir != nil {
-			covGet(covs, "hammer.dir", hammer.NewDirectoryCoverage).Merge(sys.HDir.Cov)
-		}
-		for _, c := range sys.ML1s {
-			covGet(covs, "mesi.L1", mesi.NewL1Coverage).Merge(c.Cov)
-		}
-		for _, c := range sys.AccelMCaches {
-			covGet(covs, "mesi.L1", mesi.NewL1Coverage).Merge(c.Cov)
-		}
-		if sys.ML2 != nil {
-			covGet(covs, "mesi.L2", mesi.NewL2Coverage).Merge(sys.ML2.Cov)
+		r.stores += s.Res.Stores
+		r.loads += s.Res.LoadChecks
+		if s.Err != nil && r.failed == nil {
+			r.failed = s.Err
 		}
 	}
-
-	failures := 0
-	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
-		for _, org := range config.AllOrgs {
-			var tot tester.Result
-			var failed error
-			for seed := int64(1); seed <= int64(*seeds); seed++ {
-				sys := config.Build(config.Spec{Host: host, Org: org,
-					CPUs: *cpus, AccelCores: *cores, Seed: seed * 97, Small: true})
-				cfg := tester.DefaultConfig(seed * 131)
-				cfg.StoresPerLoc = *stores
-				cfg.Deadline = 400_000_000
-				res, err := tester.Run(sys, cfg)
-				tot.Stores += res.Stores
-				tot.Loads += res.Loads
-				tot.LoadChecks += res.LoadChecks
-				if err == nil && sys.Log.Count() != 0 {
-					err = fmt.Errorf("protocol errors reported: %v", sys.Log.Errors[0])
-				}
-				if err != nil {
-					failed = err
-					break
-				}
-				record(sys)
-			}
-			verdict := "PASS"
-			if failed != nil {
-				verdict = "FAIL: " + failed.Error()
-				failures++
-			}
-			fmt.Fprintf(w, "%v/%v\t%d\t%d\t%d\t0\t%s\n", host, org, *seeds, tot.Stores, tot.LoadChecks, verdict)
+	for _, r := range rows {
+		verdict := "PASS"
+		if r.failed != nil {
+			verdict = "FAIL: " + r.failed.Error()
+			failures++
 		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t0\t%s\n", r.name, *seeds, r.stores, r.loads, verdict)
 	}
 	w.Flush()
 
 	if *coverage {
 		fmt.Println("\nstate/event coverage (visited pairs / declared-possible pairs):")
-		for _, name := range []string{"accel.L1", "accel2L.L1", "accel2L.L2",
-			"hammer.cache", "hammer.dir", "mesi.L1", "mesi.L2"} {
-			if c, ok := covs[name]; ok {
-				fmt.Println("  " + c.Summary())
-				if len(c.Unexpected) > 0 {
-					fmt.Printf("  !! %s visited undeclared transitions: %v\n", name, c.Unexpected[:1])
-					failures++
-				}
+		for _, name := range rep.CoverageClasses() {
+			c := rep.Cov[name]
+			fmt.Println("  " + c.Summary())
+			if len(c.Unexpected) > 0 {
+				fmt.Printf("  !! %s visited undeclared transitions: %v\n", name, c.Unexpected[:1])
+				failures++
 			}
 		}
+	}
+	for _, a := range rep.Artifacts {
+		fmt.Printf("\nFAILED shard %d (%s seed %d): %s\n  repro: %s\n",
+			a.Spec.Index, a.Spec.Name(), a.Spec.Seed, a.Err, a.Repro)
 	}
 	if failures > 0 {
 		os.Exit(1)
 	}
-}
-
-func covGet(m map[string]*coherence.Coverage, name string, fresh func() *coherence.Coverage) *coherence.Coverage {
-	if c, ok := m[name]; ok {
-		return c
-	}
-	c := fresh()
-	m[name] = c
-	return c
 }

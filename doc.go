@@ -33,4 +33,23 @@
 //	go run ./cmd/xgsim      // performance tables and figures (E1, E2, E5-E10)
 //	go run ./cmd/xgstress   // the paper's random protocol stress test (E3)
 //	go run ./cmd/xgfuzz     // the paper's guard fuzz testing (E4)
+//	go run ./cmd/xgcampaign // parallel (config x seed) stress/fuzz campaigns
+//
+// # Concurrency contract
+//
+// The simulator is deterministic because it is single-threaded: one
+// sim.Engine owns one event queue and everything hanging off it — the
+// fabric, the caches, the guard, the sequencers, the per-system RNGs.
+// None of it is locked, and none of it may be shared. The rule is
+//
+//	one engine per goroutine, no sharing
+//
+// Parallelism happens one level up: internal/campaign runs many fully
+// independent (configuration, seed) simulations, each confined to its
+// own goroutine with its own engine, fabric, backing store, and RNGs,
+// and merges the results in deterministic shard order afterwards. Any
+// code that hands a System, Engine, Fabric, or Sequencer to another
+// goroutine while the owning goroutine is still stepping it is wrong;
+// `go test -race ./internal/...` is part of the verification loop to
+// keep it that way.
 package crossingguard

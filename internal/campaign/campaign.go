@@ -1,0 +1,314 @@
+// Package campaign is the parallel stress/fuzz campaign runner: it fans
+// (configuration x seed) shards of the paper's §4.1 random stress test
+// and §4.2 guard fuzzer across a worker pool, one deterministic
+// single-threaded simulation per goroutine, and aggregates results
+// deterministically.
+//
+// The paper's evidence is volume — 22 compute-years of random testing —
+// and each simulation here is deterministic and single-threaded by
+// design, which makes shards embarrassingly parallel.
+//
+// Concurrency contract ("one engine per goroutine, no sharing"): a shard
+// owns its entire simulated machine — engine, fabric, RNGs, backing
+// memory, permission table, coverage recorders. Workers never touch
+// another shard's state; the only cross-goroutine structures are the
+// runner's own job channel, result list, and progress counters, all
+// mutex- or channel-protected. Aggregation (coverage merge, artifact
+// collection) happens after the pool drains, in shard-index order, so
+// reports are byte-identical regardless of worker count or scheduling.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"crossingguard/internal/coherence"
+)
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Budget, when nonzero, makes RunBudget keep drawing fresh shards
+	// until the wall-clock budget expires (in-flight shards drain).
+	Budget time.Duration
+	// Trace enables the per-shard network trace ring; on failure the
+	// shard result carries the trace tail (the -repro path).
+	Trace bool
+	// Progress, when non-nil, receives interim throughput lines
+	// (shards/sec, stores/sec, cumulative coverage) while running.
+	Progress io.Writer
+	// ProgressEvery is the interval between progress lines (default 1s).
+	ProgressEvery time.Duration
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Artifact captures everything needed to reproduce one failed shard.
+type Artifact struct {
+	Spec ShardSpec
+	Err  string
+	// Repro is a one-line shell command that deterministically re-runs
+	// exactly this shard with tracing enabled.
+	Repro string
+	// TraceDump is the network trace tail, when tracing was enabled.
+	TraceDump string
+}
+
+// Report is the deterministic aggregate of a campaign.
+type Report struct {
+	// Shards holds every shard result in shard-index (dispatch) order,
+	// independent of completion order.
+	Shards []ShardResult
+	// Artifacts lists failures in shard-index order.
+	Artifacts []Artifact
+	// Cov is per-controller-class coverage merged across shards in
+	// shard-index order.
+	Cov map[string]*coherence.Coverage
+	// ByCode counts detected protocol violations per classified code.
+	ByCode map[string]uint64
+	// Elapsed is wall-clock time for the whole campaign (not part of
+	// the deterministic payload).
+	Elapsed time.Duration
+	// Workers is the pool size used.
+	Workers int
+}
+
+// Totals sums the headline counters across all shards.
+func (r *Report) Totals() (stores, loads, checks, sent, violations uint64) {
+	for i := range r.Shards {
+		s := &r.Shards[i]
+		stores += s.Res.Stores
+		loads += s.Res.Loads
+		checks += s.Res.LoadChecks
+		sent += s.Sent
+		violations += s.Violations
+	}
+	return
+}
+
+// Failures counts failed shards.
+func (r *Report) Failures() int { return len(r.Artifacts) }
+
+// CoverageClasses returns the controller class names present, sorted.
+func (r *Report) CoverageClasses() []string {
+	out := make([]string, 0, len(r.Cov))
+	for name := range r.Cov {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoverageTable renders the merged per-class coverage, one Summary line
+// per class in sorted order. The output is byte-identical for a given
+// shard set regardless of worker count.
+func (r *Report) CoverageTable() string {
+	var b []byte
+	for _, name := range r.CoverageClasses() {
+		c := r.Cov[name]
+		b = append(b, "  "...)
+		b = append(b, c.Summary()...)
+		b = append(b, '\n')
+		if len(c.Unexpected) > 0 {
+			b = append(b, fmt.Sprintf("  !! %s visited undeclared transitions: %v\n", name, c.Unexpected[:1])...)
+		}
+	}
+	return string(b)
+}
+
+// Run executes a fixed shard set on the worker pool and returns the
+// deterministic aggregate. Shard Index fields are assigned from slice
+// position, overriding whatever the caller set.
+func Run(specs []ShardSpec, opt Options) *Report {
+	gen := func(i int) (ShardSpec, bool) {
+		if i >= len(specs) {
+			return ShardSpec{}, false
+		}
+		return specs[i], true
+	}
+	return run(gen, opt)
+}
+
+// RunBudget keeps drawing shards from gen (gen(i) must be deterministic
+// in i) until opt.Budget of wall-clock time has elapsed, then drains
+// in-flight shards and aggregates. The shard *set* depends on timing,
+// but aggregation over whatever set ran is still performed in index
+// order.
+func RunBudget(gen func(i int) ShardSpec, opt Options) *Report {
+	if opt.Budget <= 0 {
+		opt.Budget = 10 * time.Second
+	}
+	deadline := time.Now().Add(opt.Budget)
+	g := func(i int) (ShardSpec, bool) {
+		if !time.Now().Before(deadline) {
+			return ShardSpec{}, false
+		}
+		return gen(i), true
+	}
+	return run(g, opt)
+}
+
+// progressState is the mutex-guarded live view used only for interim
+// reporting; the deterministic report is rebuilt from per-shard results
+// after the pool drains.
+type progressState struct {
+	mu      sync.Mutex
+	results []ShardResult
+	stores  uint64
+	cov     map[string]*coherence.Coverage
+}
+
+func (p *progressState) add(res ShardResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.results = append(p.results, res)
+	p.stores += res.Res.Stores
+	mergeCoverage(p.cov, res.Cov)
+}
+
+// mergeCoverage folds src class coverages into dst, creating classes on
+// first sight. dst must be guarded by the caller.
+func mergeCoverage(dst, src map[string]*coherence.Coverage) {
+	for _, name := range sortedKeys(src) {
+		c := src[name]
+		if into, ok := dst[name]; ok {
+			into.Merge(c)
+		} else {
+			fresh := coherence.NewCoverage(name)
+			fresh.Merge(c)
+			dst[name] = fresh
+		}
+	}
+}
+
+func sortedKeys(m map[string]*coherence.Coverage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func run(gen func(int) (ShardSpec, bool), opt Options) *Report {
+	start := time.Now()
+	workers := opt.workers()
+	jobs := make(chan ShardSpec)
+	live := &progressState{cov: map[string]*coherence.Coverage{}}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range jobs {
+				live.add(runShardSafe(spec, opt.Trace))
+			}
+		}()
+	}
+
+	stopProgress := make(chan struct{})
+	if opt.Progress != nil {
+		every := opt.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		go reportProgress(opt.Progress, live, start, every, stopProgress)
+	}
+
+	for i := 0; ; i++ {
+		spec, ok := gen(i)
+		if !ok {
+			break
+		}
+		spec.Index = i
+		jobs <- spec
+	}
+	close(jobs)
+	wg.Wait()
+	close(stopProgress)
+
+	return aggregate(live.results, time.Since(start), workers)
+}
+
+func reportProgress(w io.Writer, live *progressState, start time.Time, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			live.mu.Lock()
+			shards := len(live.results)
+			stores := live.stores
+			var visited, possible int
+			for _, c := range live.cov {
+				visited += c.Visited()
+				possible += c.Possible()
+			}
+			live.mu.Unlock()
+			el := time.Since(start).Seconds()
+			if el <= 0 {
+				continue
+			}
+			line := fmt.Sprintf("t=%4.0fs  shards=%d (%.1f/s)  stores=%d (%.0f/s)", el, shards, float64(shards)/el, stores, float64(stores)/el)
+			if possible > 0 {
+				line += fmt.Sprintf("  coverage=%d/%d pairs (%.1f%%)", visited, possible, 100*float64(visited)/float64(possible))
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
+// aggregate rebuilds the deterministic report: results sorted by shard
+// index, coverage and violation counts merged in that order.
+func aggregate(results []ShardResult, elapsed time.Duration, workers int) *Report {
+	sort.Slice(results, func(i, j int) bool { return results[i].Spec.Index < results[j].Spec.Index })
+	rep := &Report{
+		Shards:  results,
+		Cov:     map[string]*coherence.Coverage{},
+		ByCode:  map[string]uint64{},
+		Elapsed: elapsed,
+		Workers: workers,
+	}
+	for i := range results {
+		s := &results[i]
+		mergeCoverage(rep.Cov, s.Cov)
+		for code, n := range s.ByCode {
+			rep.ByCode[code] += n
+		}
+		if s.Err != nil {
+			rep.Artifacts = append(rep.Artifacts, Artifact{
+				Spec:      s.Spec,
+				Err:       s.Err.Error(),
+				Repro:     s.Spec.ReproCommand(),
+				TraceDump: s.TraceDump,
+			})
+		}
+	}
+	return rep
+}
+
+// runShardSafe converts a shard panic into a captured failure instead of
+// killing the whole pool: the fuzzer's promise is "never crashes", so a
+// panic IS a finding, not an excuse to lose the campaign.
+func runShardSafe(spec ShardSpec, trace bool) (res ShardResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Spec = spec
+			res.Err = fmt.Errorf("PANIC: %v", r)
+		}
+	}()
+	return RunShard(spec, trace)
+}

@@ -1,0 +1,380 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"crossingguard/internal/accel"
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/config"
+	"crossingguard/internal/fuzz"
+	"crossingguard/internal/hostproto/hammer"
+	"crossingguard/internal/hostproto/mesi"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/perm"
+	"crossingguard/internal/seq"
+	"crossingguard/internal/tester"
+)
+
+// Kind selects what a shard runs.
+type Kind int
+
+const (
+	// KindStress is one (config, seed) cell of the §4.1 random protocol
+	// stress test (E3).
+	KindStress Kind = iota
+	// KindFuzz is one (config, variant, seed) cell of the §4.2 guard
+	// fuzz test (E4): an Attacker bombards the guard while the CPUs run
+	// the random workload.
+	KindFuzz
+)
+
+var kindNames = [...]string{KindStress: "stress", KindFuzz: "fuzz"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// ShardSpec describes one unit of campaign work: a full simulated
+// machine plus the test to run on it. Everything except Custom is plain
+// data, so a failed shard can be re-created exactly from its printed
+// repro string.
+type ShardSpec struct {
+	// Index is the shard's dispatch position; the runner assigns it and
+	// aggregates in Index order.
+	Index int
+
+	Kind Kind
+	Host config.HostKind
+	Org  config.Org
+	// Seed is the logical seed; per-component seeds (build, tester,
+	// attacker) are derived from it with the same multipliers the
+	// original serial drivers used, so results match run-for-run.
+	Seed int64
+
+	CPUs  int
+	Cores int
+
+	// Stores is StoresPerLoc for stress shards.
+	Stores int
+
+	// Messages is the attack volume for fuzz shards.
+	Messages int
+	// Confined installs a deny-all permission table (fuzz "confined"
+	// variant: the guard must protect data, not just liveness).
+	Confined bool
+	// CheckValues keeps load-value verification on even though the
+	// attacker shares the CPUs' pages — the deliberately failing
+	// "buggy accelerator under stress" demonstration.
+	CheckValues bool
+
+	// Custom, when set, replaces the machine entirely: the shard runs
+	// tester.Run on whatever system it returns. Used by tests to bound
+	// the runner's failure paths (deadlock injection); not expressible
+	// in a repro string.
+	Custom func(trace bool) (tester.System, tester.Config) `json:"-"`
+}
+
+// Name renders the configuration id used in report tables.
+func (s ShardSpec) Name() string {
+	if s.Custom != nil {
+		return "custom"
+	}
+	return fmt.Sprintf("%v/%v", s.Host, s.Org)
+}
+
+// ShardResult is everything one shard produced.
+type ShardResult struct {
+	Spec       ShardSpec
+	Res        tester.Result
+	Sent       uint64 // fuzz: attack messages injected
+	Violations uint64 // protocol violations detected and classified
+	ByCode     map[string]uint64
+	Cov        map[string]*coherence.Coverage
+	Err        error
+	TraceDump  string
+}
+
+// hostView narrows a fuzzed system for the stress tester: drive the CPUs
+// only and validate only host-side health (the accelerator is an
+// attacker; its "health" is not the guard's problem).
+type hostView struct{ *config.System }
+
+func (h hostView) Sequencers() []*seq.Sequencer { return h.CPUSeqs }
+func (h hostView) Outstanding() int             { return h.HostOutstanding() }
+func (h hostView) Audit() error                 { return h.AuditHostOnly() }
+
+// fuzzPool is the small shared address pool attackers aim at (the same 8
+// lines the CPUs stress, maximizing interference).
+func fuzzPool(base mem.Addr) []mem.Addr {
+	pool := make([]mem.Addr, 8)
+	for i := range pool {
+		pool[i] = base + mem.Addr(i*mem.BlockBytes)
+	}
+	return pool
+}
+
+// RunShard executes one shard to completion on the calling goroutine.
+// The shard builds a private machine (engine, fabric, RNGs, memory,
+// permission table) and never touches state outside it.
+func RunShard(spec ShardSpec, trace bool) ShardResult {
+	res := ShardResult{
+		Spec:   spec,
+		ByCode: map[string]uint64{},
+		Cov:    map[string]*coherence.Coverage{},
+	}
+	if spec.Custom != nil {
+		sys, cfg := spec.Custom(trace)
+		res.Res, res.Err = tester.Run(sys, cfg)
+		return res
+	}
+	switch spec.Kind {
+	case KindStress:
+		runStressShard(&res, trace)
+	case KindFuzz:
+		runFuzzShard(&res, trace)
+	default:
+		res.Err = fmt.Errorf("campaign: unknown shard kind %d", spec.Kind)
+	}
+	return res
+}
+
+func runStressShard(res *ShardResult, trace bool) {
+	spec := res.Spec
+	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
+		CPUs: spec.CPUs, AccelCores: spec.Cores, Seed: spec.Seed * 97, Small: true})
+	var tr *network.Trace
+	if trace {
+		tr = network.NewTrace(4000)
+		sys.Fab.Trace = tr
+	}
+	cfg := tester.DefaultConfig(spec.Seed * 131)
+	cfg.StoresPerLoc = spec.Stores
+	cfg.Deadline = 400_000_000
+	res.Res, res.Err = tester.Run(sys, cfg)
+	res.Violations = uint64(sys.Log.Count())
+	for code, n := range sys.Log.ByCode {
+		res.ByCode[code] += n
+	}
+	if res.Err == nil && sys.Log.Count() != 0 {
+		res.Err = fmt.Errorf("protocol errors reported: %v", sys.Log.Errors[0])
+	}
+	if res.Err == nil {
+		recordCoverage(sys, res.Cov)
+	}
+	if res.Err != nil && tr != nil {
+		res.TraceDump = tr.Dump()
+	}
+}
+
+func runFuzzShard(res *ShardResult, trace bool) {
+	spec := res.Spec
+	const base = mem.Addr(0x10000)
+	var perms *perm.Table
+	if spec.Confined {
+		perms = perm.NewTable() // deny everything: the attacker owns no pages
+	}
+	var att *fuzz.Attacker
+	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
+		CPUs: spec.CPUs, AccelCores: 1, Seed: spec.Seed * 61, Small: true,
+		Timeout: 5000, Perms: perms,
+		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
+			att = fuzz.NewAttacker(accelID, xgID, s.Eng, s.Fab, spec.Seed*67, fuzzPool(base))
+			att.Policy = fuzz.InvRandom
+			att.IncludeHostTypes = true
+			att.NilDataProb = 0.1
+			return nil
+		}})
+	var tr *network.Trace
+	if trace {
+		tr = network.NewTrace(4000)
+		sys.Fab.Trace = tr
+	}
+	att.Rampage(spec.Messages, 40)
+	cfg := tester.DefaultConfig(spec.Seed * 71)
+	cfg.StoresPerLoc = 25
+	cfg.BaseAddr = base
+	cfg.Deadline = 200_000_000
+	cfg.SkipValueChecks = !spec.Confined && !spec.CheckValues
+	res.Res, res.Err = tester.Run(hostView{sys}, cfg)
+	res.Sent = att.Sent
+	res.Violations = uint64(sys.Log.Count())
+	for code, n := range sys.Log.ByCode {
+		res.ByCode[code] += n
+	}
+	if res.Err == nil {
+		recordCoverage(sys, res.Cov)
+	}
+	if res.Err != nil && tr != nil {
+		res.TraceDump = tr.Dump()
+	}
+}
+
+// recordCoverage folds every controller's coverage into the per-class
+// map, exactly the accounting xgstress has always reported.
+func recordCoverage(sys *config.System, covs map[string]*coherence.Coverage) {
+	get := func(name string, fresh func() *coherence.Coverage) *coherence.Coverage {
+		if c, ok := covs[name]; ok {
+			return c
+		}
+		c := fresh()
+		covs[name] = c
+		return c
+	}
+	for _, l1 := range sys.AccelL1s {
+		get("accel.L1", accel.NewTable1Coverage).Merge(l1.Cov)
+	}
+	for _, il := range sys.InnerL1s {
+		get("accel2L.L1", accel.NewInnerL1Coverage).Merge(il.Cov)
+	}
+	if sys.AccelL2 != nil {
+		get("accel2L.L2", accel.NewSharedL2Coverage).Merge(sys.AccelL2.Cov)
+	}
+	for _, c := range sys.HCaches {
+		get("hammer.cache", hammer.NewCacheCoverage).Merge(c.Cov)
+	}
+	for _, c := range sys.AccelHCaches {
+		get("hammer.cache", hammer.NewCacheCoverage).Merge(c.Cov)
+	}
+	if sys.HDir != nil {
+		get("hammer.dir", hammer.NewDirectoryCoverage).Merge(sys.HDir.Cov)
+	}
+	for _, c := range sys.ML1s {
+		get("mesi.L1", mesi.NewL1Coverage).Merge(c.Cov)
+	}
+	for _, c := range sys.AccelMCaches {
+		get("mesi.L1", mesi.NewL1Coverage).Merge(c.Cov)
+	}
+	if sys.ML2 != nil {
+		get("mesi.L2", mesi.NewL2Coverage).Merge(sys.ML2.Cov)
+	}
+}
+
+// --- repro string encoding ---
+
+// FormatSpec renders the shard as a parseable one-line spec:
+//
+//	kind=stress host=hammer org=xg-full/1L seed=3 cpus=2 cores=2 stores=100
+//
+// ParseSpec is its inverse. Custom shards are not representable.
+func FormatSpec(s ShardSpec) string {
+	parts := []string{
+		"kind=" + s.Kind.String(),
+		"host=" + s.Host.String(),
+		"org=" + s.Org.String(),
+		"seed=" + strconv.FormatInt(s.Seed, 10),
+		"cpus=" + strconv.Itoa(s.CPUs),
+	}
+	switch s.Kind {
+	case KindStress:
+		parts = append(parts, "cores="+strconv.Itoa(s.Cores), "stores="+strconv.Itoa(s.Stores))
+	case KindFuzz:
+		parts = append(parts, "messages="+strconv.Itoa(s.Messages))
+		if s.Confined {
+			parts = append(parts, "confined=1")
+		}
+		if s.CheckValues {
+			parts = append(parts, "checked=1")
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// ReproCommand renders the one-line reproduction command printed with
+// failure artifacts.
+func (s ShardSpec) ReproCommand() string {
+	if s.Custom != nil {
+		return "(custom shard: not reproducible from the command line)"
+	}
+	return fmt.Sprintf("go run ./cmd/xgcampaign -repro '%s'", FormatSpec(s))
+}
+
+// ParseSpec parses a FormatSpec string back into a runnable shard.
+func ParseSpec(text string) (ShardSpec, error) {
+	spec := ShardSpec{CPUs: 2, Cores: 2, Stores: 100, Messages: 3000}
+	seen := map[string]bool{}
+	for _, field := range strings.Fields(text) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return spec, fmt.Errorf("campaign: bad spec field %q (want key=value)", field)
+		}
+		if seen[k] {
+			return spec, fmt.Errorf("campaign: duplicate spec field %q", k)
+		}
+		seen[k] = true
+		switch k {
+		case "kind":
+			switch v {
+			case "stress":
+				spec.Kind = KindStress
+			case "fuzz":
+				spec.Kind = KindFuzz
+			default:
+				return spec, fmt.Errorf("campaign: unknown kind %q", v)
+			}
+		case "host":
+			switch v {
+			case "hammer":
+				spec.Host = config.HostHammer
+			case "mesi":
+				spec.Host = config.HostMESI
+			default:
+				return spec, fmt.Errorf("campaign: unknown host %q", v)
+			}
+		case "org":
+			org, err := parseOrg(v)
+			if err != nil {
+				return spec, err
+			}
+			spec.Org = org
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("campaign: bad seed %q", v)
+			}
+			spec.Seed = n
+		case "cpus", "cores", "stores", "messages":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return spec, fmt.Errorf("campaign: bad %s %q", k, v)
+			}
+			switch k {
+			case "cpus":
+				spec.CPUs = n
+			case "cores":
+				spec.Cores = n
+			case "stores":
+				spec.Stores = n
+			case "messages":
+				spec.Messages = n
+			}
+		case "confined":
+			spec.Confined = v == "1" || v == "true"
+		case "checked":
+			spec.CheckValues = v == "1" || v == "true"
+		default:
+			return spec, fmt.Errorf("campaign: unknown spec field %q", k)
+		}
+	}
+	if !seen["kind"] || !seen["host"] || !seen["org"] || !seen["seed"] {
+		return spec, fmt.Errorf("campaign: spec needs at least kind, host, org, seed (got %q)", text)
+	}
+	return spec, nil
+}
+
+func parseOrg(name string) (config.Org, error) {
+	all := append([]config.Org{}, config.AllOrgs...)
+	all = append(all, config.OrgXGWeak)
+	for _, o := range all {
+		if o.String() == name {
+			return o, nil
+		}
+	}
+	known := make([]string, len(all))
+	for i, o := range all {
+		known[i] = o.String()
+	}
+	sort.Strings(known)
+	return 0, fmt.Errorf("campaign: unknown org %q (known: %s)", name, strings.Join(known, ", "))
+}

@@ -1,0 +1,55 @@
+package campaign
+
+import "crossingguard/internal/config"
+
+// FuzzOrgs is the guard organizations the fuzz campaign sweeps — only
+// organizations with a guard make sense to fuzz.
+var FuzzOrgs = []config.Org{config.OrgXGFull1L, config.OrgXGTxn1L, config.OrgXGFull2L, config.OrgXGTxn2L}
+
+// StressSweep builds the E3 shard set: (host x organization x seed),
+// seeds 1..seeds, in the deterministic order the serial driver used.
+func StressSweep(seeds, cpus, cores, stores int) []ShardSpec {
+	var specs []ShardSpec
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range config.AllOrgs {
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				specs = append(specs, ShardSpec{Kind: KindStress, Host: host, Org: org,
+					Seed: seed, CPUs: cpus, Cores: cores, Stores: stores})
+			}
+		}
+	}
+	return specs
+}
+
+// FuzzSweep builds the E4 shard set: (host x guard organization x
+// {shared, confined} x seed).
+func FuzzSweep(seeds, cpus, messages int) []ShardSpec {
+	var specs []ShardSpec
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range FuzzOrgs {
+			for _, confined := range []bool{false, true} {
+				for seed := int64(1); seed <= int64(seeds); seed++ {
+					specs = append(specs, ShardSpec{Kind: KindFuzz, Host: host, Org: org,
+						Seed: seed, CPUs: cpus, Messages: messages, Confined: confined})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// BudgetGenerator returns a deterministic infinite shard stream for
+// time-budgeted campaigns: it cycles through base (a fixed configuration
+// sweep; Seed fields are overridden) drawing a fresh seed on every full
+// cycle. gen(i) depends only on i, so a budgeted run is a prefix of one
+// fixed infinite sequence — any two runs agree on the shards both ran.
+func BudgetGenerator(base []ShardSpec) func(i int) ShardSpec {
+	if len(base) == 0 {
+		panic("campaign: BudgetGenerator with empty base sweep")
+	}
+	return func(i int) ShardSpec {
+		spec := base[i%len(base)]
+		spec.Seed = int64(i/len(base)) + 1
+		return spec
+	}
+}

@@ -83,12 +83,30 @@ func (c *Coverage) Missing() []string {
 }
 
 // Merge folds other's visit counts into c (same controller class running
-// as multiple instances, or across runs).
+// as multiple instances, or across runs or campaign shards). Declared
+// pairs are unioned, so merging into a bare NewCoverage preserves the
+// class's declaration table. Visit counts add and declared/visited sets
+// union, making Merge commutative and associative up to the order of the
+// Unexpected list — aggregators that need byte-identical reports (the
+// campaign runner) must merge in a deterministic shard order.
 func (c *Coverage) Merge(other *Coverage) {
+	for k := range other.declared {
+		c.declared[k] = true
+	}
 	for k, v := range other.visited {
 		c.visited[k] += v
 	}
 	c.Unexpected = append(c.Unexpected, other.Unexpected...)
+}
+
+// Snapshot returns a copy of the visit counts keyed by "state/event",
+// the canonical form used by aggregation tests to compare merge results.
+func (c *Coverage) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.visited))
+	for k, v := range c.visited {
+		out[k] = v
+	}
+	return out
 }
 
 // Summary renders a one-line coverage report.

@@ -1,0 +1,102 @@
+package xlate
+
+import (
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/seq"
+)
+
+// FuzzBlockXlate drives random merge/split sequences through the wide
+// accelerator's block translation layer and checks that data survives:
+// whatever mix of wide fills (merges), eviction writebacks (splits), and
+// half-line recalls the stream provokes, every load must return the last
+// value stored to that byte.
+//
+// Byte layout: byte 0 selects (host protocol, hot-set bias); each
+// following 2-byte chunk is one operation: (op+address, value). The
+// address pool spans 12 wide lines against a 4-set x 2-way wide cache,
+// so conflict evictions — and therefore splits — are routine, and a
+// CPU sequencer contends for the same lines to force recalls. Ops run
+// strictly sequentially (each issued from the previous one's callback),
+// so a plain map is an exact value oracle.
+func FuzzBlockXlate(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x01, 0x00, 11, 0x02, 22, 0x40, 11, 0x42, 22})
+	f.Add([]byte{0x02, 0x10, 1, 0x90, 2, 0x11, 0, 0x91, 0, 0x50, 3, 0xd0, 4})
+	f.Add([]byte{0x03, 0x00, 9, 0x17, 8, 0x2e, 7, 0x45, 6, 0x5c, 5, 0x73, 4, 0x8a, 3, 0xa1, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		sel := data[0]
+		host := config.HostHammer
+		if sel&1 != 0 {
+			host = config.HostMESI
+		}
+		stream := data[1:]
+		if len(stream) > 2*200 {
+			stream = stream[:2*200] // bound the sim cost per input
+		}
+
+		sys, wide, sq := buildWide(host, config.OrgXGFull1L, int64(sel)*59+11)
+		expected := map[mem.Addr]byte{} // zero-default matches the zeroed backing store
+
+		// op byte: bits 0-4 pick one of 24 host blocks (12 wide lines),
+		// bit 5 picks the 32B sub-offset, bits 6-7 pick the operation.
+		type op struct {
+			addr   mem.Addr
+			kind   byte
+			val    byte
+			useCPU bool
+		}
+		var ops []op
+		for i := 0; i+1 < len(stream); i += 2 {
+			b := stream[i]
+			a := mem.Addr(0x10000 + int(b&0x1f)%24*64 + int(b>>5&1)*32)
+			ops = append(ops, op{addr: a, kind: b >> 6 & 1, val: stream[i+1], useCPU: b>>7&1 != 0})
+		}
+
+		var step func(n int)
+		step = func(n int) {
+			if n >= len(ops) {
+				return
+			}
+			o := ops[n]
+			agent := sq
+			if o.useCPU {
+				agent = sys.CPUSeqs[0]
+			}
+			if o.kind == 0 {
+				agent.Store(o.addr, o.val, func(*seq.Op) {
+					expected[o.addr] = o.val
+					step(n + 1)
+				})
+			} else {
+				agent.Load(o.addr, func(got *seq.Op) {
+					if got.Result != expected[o.addr] {
+						t.Errorf("load %d at %v after op %d, want %d (merges=%d splits=%d recalls=%d)",
+							got.Result, o.addr, n, expected[o.addr],
+							wide.Merges, wide.Splits, wide.FalseShareRecalls)
+						return
+					}
+					step(n + 1)
+				})
+			}
+		}
+		sys.Eng.Schedule(1, func() { step(0) })
+
+		if !sys.Eng.RunUntil(50_000_000) {
+			t.Fatalf("engine did not drain after %d ops (merges=%d splits=%d)",
+				len(ops), wide.Merges, wide.Splits)
+		}
+		if err := sys.AuditHostOnly(); err != nil {
+			t.Fatalf("host audit after merge/split stream: %v", err)
+		}
+		if sys.Log.Count() != 0 {
+			t.Fatalf("guard error under merge/split stream: %v", sys.Log.Errors[0])
+		}
+	})
+}
