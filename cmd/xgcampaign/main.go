@@ -9,7 +9,7 @@
 //
 //	xgcampaign [-mode stress|fuzz|all] [-seeds N] [-workers N]
 //	           [-budget 30s] [-stores N] [-messages N] [-cpus N] [-cores N]
-//	           [-checked] [-coverage=false]
+//	           [-checked] [-coverage=false] [-metrics out.json] [-trace out.jsonl]
 //	xgcampaign -repro 'kind=stress host=hammer org=xg-full/1L seed=3 ...'
 //
 // Fixed-set mode runs (hosts x organizations x seeds 1..N). Budget mode
@@ -42,6 +42,8 @@ var (
 	checked  = flag.Bool("checked", false, "fuzz: keep value checks on while the attacker shares pages (deliberately failing buggy-accelerator demo)")
 	coverage = flag.Bool("coverage", true, "print merged state/event coverage")
 	repro    = flag.String("repro", "", "re-run one captured shard spec with tracing enabled")
+	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file (render with cmd/xgreport)")
+	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
 )
 
 func main() {
@@ -71,7 +73,7 @@ func main() {
 		}
 	}
 
-	opt := campaign.Options{Workers: *workers, Progress: os.Stderr}
+	opt := campaign.Options{Workers: *workers, Progress: os.Stderr, Trace: *trace != ""}
 	var rep *campaign.Report
 	if *budget > 0 {
 		opt.Budget = *budget
@@ -87,6 +89,10 @@ func main() {
 		rep = campaign.Run(specs, opt)
 	}
 
+	if err := rep.ExportFiles(*metrics, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
+		os.Exit(1)
+	}
 	printReport(rep)
 	if rep.Failures() > 0 {
 		os.Exit(1)

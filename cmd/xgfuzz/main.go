@@ -13,6 +13,7 @@
 // Usage:
 //
 //	xgfuzz [-seeds N] [-messages N] [-cpus N] [-workers N]
+//	       [-metrics out.json] [-trace out.jsonl]
 package main
 
 import (
@@ -30,12 +31,18 @@ var (
 	messages = flag.Int("messages", 3000, "fuzz messages per run")
 	cpus     = flag.Int("cpus", 2, "CPU cores")
 	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file (render with cmd/xgreport)")
+	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
 )
 
 func main() {
 	flag.Parse()
 	specs := campaign.FuzzSweep(*seeds, *cpus, *messages)
-	rep := campaign.Run(specs, campaign.Options{Workers: *workers})
+	rep := campaign.Run(specs, campaign.Options{Workers: *workers, Trace: *trace != ""})
+	if err := rep.ExportFiles(*metrics, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "xgfuzz:", err)
+		os.Exit(1)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "E4: fuzz testing Crossing Guard (paper §4.2)")

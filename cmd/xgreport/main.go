@@ -1,0 +1,196 @@
+// Command xgreport renders a metrics JSON file (the -metrics output of
+// xgsim, xgstress, xgcampaign, or xgfuzz) into paper-style text tables:
+// guard guarantee-check outcomes per Figure 1 guarantee, crossing
+// latency distributions, per-protocol host state-transition counts, and
+// network occupancy.
+//
+// Usage:
+//
+//	xgreport metrics.json
+//	xgreport < metrics.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"crossingguard/internal/obs"
+)
+
+func main() {
+	flag.Parse()
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: xgreport [metrics.json]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xgreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := obs.ReadSnapshot(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xgreport:", err)
+		os.Exit(1)
+	}
+	render(os.Stdout, snap)
+}
+
+// guaranteeNames maps violation codes to the Figure 1 prose, so the
+// outcome table reads like the paper.
+var guaranteeNames = []struct{ code, prose string }{
+	{"XG.G0a", "no access without page permission"},
+	{"XG.G0b", "no writes to read-only pages"},
+	{"XG.G1a", "requests consistent with stable state"},
+	{"XG.G1b", "one transaction per address"},
+	{"XG.G2a", "responses consistent with stable state"},
+	{"XG.G2b", "no response without a request"},
+	{"XG.G2c", "responses within bounded time"},
+	{"XG.BadMessage", "non-interface message rejected"},
+	{"XG.BadSource", "wrong-source message rejected"},
+	{"XG.Disabled", "device fenced after violation budget"},
+}
+
+func render(w io.Writer, s obs.Snapshot) {
+	renderGuarantees(w, s)
+	renderCrossings(w, s)
+	renderStates(w, s)
+	renderNetwork(w, s)
+}
+
+func renderGuarantees(w io.Writer, s obs.Snapshot) {
+	pass := s.Counters["guard.check.pass"]
+	var total uint64
+	for name, n := range s.Counters {
+		if strings.HasPrefix(name, "guard.violation.") {
+			total += n
+		}
+	}
+	fmt.Fprintln(w, "guarantee-check outcomes (Crossing Guard, paper Fig. 1)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  check\tguarantee\tcount")
+	fmt.Fprintf(tw, "  pass\trequest accepted, all guarantees hold\t%d\n", pass)
+	seen := map[string]bool{}
+	for _, g := range guaranteeNames {
+		key := "guard.violation." + g.code
+		seen[key] = true
+		if n, ok := s.Counters[key]; ok {
+			fmt.Fprintf(tw, "  %s\t%s\t%d\n", g.code, g.prose, n)
+		}
+	}
+	// Codes the table above doesn't know (future guarantees) still print.
+	var extra []string
+	for name := range s.Counters {
+		if strings.HasPrefix(name, "guard.violation.") && !seen[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(tw, "  %s\t\t%d\n", strings.TrimPrefix(name, "guard.violation."), s.Counters[name])
+	}
+	fmt.Fprintf(tw, "  total violations\t\t%d\n", total)
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+func renderCrossings(w io.Writer, s obs.Snapshot) {
+	rows := []struct{ key, label string }{
+		{"xg.crossing.ticks", "guard crossing (request -> grant)"},
+		{"xlate.crossing.ticks", "block-xlate crossing (wide request -> last grant)"},
+	}
+	any := false
+	for _, r := range rows {
+		if h, ok := s.Histograms[r.key]; ok && h.N > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w, "crossing latency (ticks)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  crossing\tn\tmean\tp50\tp95\tp99\tmin\tmax")
+	for _, r := range rows {
+		h, ok := s.Histograms[r.key]
+		if !ok || h.N == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%.1f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.label, h.N, h.Mean, h.P50, h.P95, h.P99, h.Min, h.Max)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// statePrefixes are the host-protocol transition-count namespaces wired
+// up by config.Build.
+var statePrefixes = []struct{ prefix, label string }{
+	{"hammer.cache.state.", "Hammer cache"},
+	{"hammer.dir.state.", "Hammer directory"},
+	{"mesi.L1.state.", "MESI L1"},
+	{"mesi.L2.state.", "MESI L2/directory"},
+}
+
+func renderStates(w io.Writer, s obs.Snapshot) {
+	type row struct {
+		state string
+		n     uint64
+	}
+	any := false
+	for _, p := range statePrefixes {
+		var rows []row
+		for name, n := range s.Counters {
+			if strings.HasPrefix(name, p.prefix) {
+				rows = append(rows, row{strings.TrimPrefix(name, p.prefix), n})
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		if !any {
+			fmt.Fprintln(w, "host state-transition counts (events observed per resulting state)")
+			any = true
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].state < rows[j].state })
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  %s:\t", p.label)
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%s=%d\t", r.state, r.n)
+		}
+		fmt.Fprintln(tw)
+		tw.Flush()
+	}
+	if any {
+		fmt.Fprintln(w)
+	}
+}
+
+func renderNetwork(w io.Writer, s obs.Snapshot) {
+	msgs, haveMsgs := s.Counters["net.msgs"]
+	if !haveMsgs {
+		return
+	}
+	fmt.Fprintln(w, "network")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  messages delivered\t%d\n", msgs)
+	fmt.Fprintf(tw, "  bytes moved\t%d\n", s.Counters["net.bytes"])
+	fmt.Fprintf(tw, "  messages dropped\t%d\n", s.Counters["net.dropped"])
+	if g, ok := s.Gauges["net.inflight"]; ok {
+		fmt.Fprintf(tw, "  peak in-flight\t%d\n", g.Max)
+	}
+	if h, ok := s.Histograms["net.channel.depth"]; ok && h.N > 0 {
+		fmt.Fprintf(tw, "  channel depth\tmean %.2f, p95 %.0f, max %.0f\n", h.Mean, h.P95, h.Max)
+	}
+	tw.Flush()
+}

@@ -8,7 +8,11 @@
 // Usage:
 //
 //	xgsim [-experiment all|table1|complexity|perf|latency|hist|puts|storage|dos|blockxlate]
-//	      [-accesses N] [-cores N] [-cpus N] [-seed N]
+//	      [-accesses N] [-cores N] [-cpus N] [-seed N] [-metrics out.json]
+//
+// -metrics accumulates every simulated machine's instruments into one
+// registry (the sweep runs machines sequentially, so accumulation is
+// deterministic) and writes it as JSON on exit; render with cmd/xgreport.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"crossingguard/internal/hostproto/mesi"
 	"crossingguard/internal/mem"
 	"crossingguard/internal/network"
+	"crossingguard/internal/obs"
 	"crossingguard/internal/seq"
 	"crossingguard/internal/stats"
 	"crossingguard/internal/workload"
@@ -38,7 +43,12 @@ var (
 	cores      = flag.Int("cores", 2, "accelerator cores")
 	cpus       = flag.Int("cpus", 2, "CPU cores")
 	seed       = flag.Int64("seed", 1, "simulation seed")
+	metrics    = flag.String("metrics", "", "write accumulated metrics JSON to this file (render with cmd/xgreport)")
 )
+
+// metricsReg accumulates instruments across every machine the sweep
+// builds (passed to config.Build as Spec.Obs).
+var metricsReg = obs.NewRegistry()
 
 func main() {
 	flag.Parse()
@@ -60,6 +70,24 @@ func main() {
 	run("storage", storage)
 	run("dos", dos)
 	run("blockxlate", blockXlate)
+	if *metrics != "" {
+		if err := writeMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "xgsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metricsReg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func hosts() []config.HostKind { return []config.HostKind{config.HostHammer, config.HostMESI} }
@@ -118,7 +146,7 @@ func orgRow(host config.HostKind, org config.Org, kind workload.Kind) workload.R
 	cfg := workload.DefaultConfig(kind)
 	cfg.AccessesPerCore = *accesses
 	sys := config.Build(config.Spec{Host: host, Org: org, CPUs: *cpus, AccelCores: *cores,
-		Seed: *seed, Perms: workload.Perms(cfg)})
+		Seed: *seed, Perms: workload.Perms(cfg), Obs: metricsReg})
 	res, err := workload.Run(sys, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xgsim: %v/%v/%v: %v\n", host, org, kind, err)
@@ -204,7 +232,7 @@ func putsOverhead(w *tabwriter.Writer) {
 				cfg := workload.DefaultConfig(kind)
 				cfg.AccessesPerCore = *accesses
 				sys := config.Build(config.Spec{Host: host, Org: org, CPUs: *cpus,
-					AccelCores: *cores, Seed: *seed, Perms: workload.Perms(cfg)})
+					AccelCores: *cores, Seed: *seed, Perms: workload.Perms(cfg), Obs: metricsReg})
 				res, err := workload.Run(sys, cfg)
 				if err != nil {
 					continue
@@ -233,7 +261,7 @@ func storage(w *tabwriter.Writer) {
 			cfg.AccessesPerCore = kb * 1024 // enough touches to fill the cache
 			cfg.Footprint = kb * 1024 * 8   // per-core tile band = 2x the cache
 			sys := config.Build(config.Spec{Host: config.HostMESI, Org: mode, CPUs: *cpus,
-				AccelCores: 1, Seed: *seed, Perms: workload.Perms(cfg), AccelL1KB: kb})
+				AccelCores: 1, Seed: *seed, Perms: workload.Perms(cfg), AccelL1KB: kb, Obs: metricsReg})
 			peak := 0
 			sys.Eng.Ticker(500, func() {
 				for _, g := range sys.Guards {
@@ -269,7 +297,7 @@ func dos(w *tabwriter.Writer) {
 		// legitimate-looking request stream reaches the host — exactly
 		// the resource-consumption attack §2.5 rate-limits.
 		spec := config.Spec{Host: config.HostHammer, Org: config.OrgXGTxn1L,
-			CPUs: *cpus, AccelCores: 1, Seed: *seed, Rate: rate, Timeout: 50_000,
+			CPUs: *cpus, AccelCores: 1, Seed: *seed, Rate: rate, Timeout: 50_000, Obs: metricsReg,
 			CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
 				att = fuzz.NewAttacker(accelID, xgID, s.Eng, s.Fab, *seed+1, pool)
 				att.Policy = fuzz.InvCorrectAck
@@ -382,9 +410,10 @@ func buildWideRig(host config.HostKind, seed int64) (*config.System, *xlate.Wide
 	var sq *seq.Sequencer
 	spec := config.Spec{
 		Host: host, Org: config.OrgXGFull1L, CPUs: *cpus, AccelCores: 1,
-		Seed: seed, Timeout: 50_000,
+		Seed: seed, Timeout: 50_000, Obs: metricsReg,
 		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
 			wide = xlate.NewWideAccel(accelID, "wide", s.Eng, s.Fab, xgID, 16, 4)
+			wide.AttachObs(s.Obs)
 			sq = seq.New(350, "wacc", s.Eng, s.Fab, accelID)
 			s.AccelSeqs = append(s.AccelSeqs, sq)
 			s.Fab.SetRoutePair(sq.ID(), accelID, network.Config{Latency: 1, Ordered: true})

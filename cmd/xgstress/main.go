@@ -12,6 +12,13 @@
 // Usage:
 //
 //	xgstress [-seeds N] [-stores N] [-cpus N] [-cores N] [-workers N] [-coverage]
+//	         [-metrics out.json] [-trace out.jsonl]
+//
+// -metrics exports the merged metrics registry (guard guarantee
+// outcomes, host state transitions, network occupancy, crossing
+// latency) as JSON; render it with cmd/xgreport. -trace exports every
+// shard's trace-ring tail as JSONL. Both files are byte-identical for a
+// fixed flag set regardless of -workers.
 package main
 
 import (
@@ -30,12 +37,18 @@ var (
 	cores    = flag.Int("cores", 2, "accelerator cores")
 	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	coverage = flag.Bool("coverage", true, "print state/event coverage")
+	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file")
+	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
 )
 
 func main() {
 	flag.Parse()
 	specs := campaign.StressSweep(*seeds, *cpus, *cores, *stores)
-	rep := campaign.Run(specs, campaign.Options{Workers: *workers})
+	rep := campaign.Run(specs, campaign.Options{Workers: *workers, Trace: *trace != ""})
+	if err := rep.ExportFiles(*metrics, *trace); err != nil {
+		fmt.Fprintln(os.Stderr, "xgstress:", err)
+		os.Exit(1)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "E3: random protocol stress test (paper §4.1)")

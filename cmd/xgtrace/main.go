@@ -1,12 +1,14 @@
 // Command xgtrace runs a chosen configuration under a small workload and
 // prints the coherence-message trace — optionally filtered to a single
-// cache line — the debugging view protocol engineers actually use. It is
-// the same tracing facility the stress tests dump on failure.
+// cache line — the debugging view protocol engineers actually use. It
+// rides the same structured trace bus the stress campaigns attach for
+// failure artifacts; -jsonl exports the full event stream for machine
+// consumption.
 //
 // Usage:
 //
 //	xgtrace [-host hammer|mesi] [-org xg-full/1L|...] [-kind graph|...]
-//	        [-watch 0xADDR] [-accesses N] [-tail N]
+//	        [-watch 0xADDR] [-accesses N] [-tail N] [-jsonl out.jsonl]
 package main
 
 import (
@@ -18,7 +20,7 @@ import (
 
 	"crossingguard/internal/config"
 	"crossingguard/internal/mem"
-	"crossingguard/internal/network"
+	"crossingguard/internal/obs"
 	"crossingguard/internal/workload"
 )
 
@@ -28,7 +30,8 @@ var (
 	kindFlag = flag.String("kind", "graph", "workload kind")
 	watch    = flag.String("watch", "", "hex line address to filter (e.g. 0x100040)")
 	accesses = flag.Int("accesses", 200, "accelerator accesses per core")
-	tailN    = flag.Int("tail", 120, "print at most the last N matching lines")
+	tailN    = flag.Int("tail", 120, "print at most the last N matching events")
+	jsonlOut = flag.String("jsonl", "", "write the full event stream as JSONL to this file")
 )
 
 func main() {
@@ -69,7 +72,8 @@ func main() {
 	cfg.AccessesPerCore = *accesses
 	sys := config.Build(config.Spec{Host: host, Org: org, CPUs: 2, AccelCores: 2,
 		Seed: 1, Perms: workload.Perms(cfg)})
-	sys.Fab.Trace = network.NewTrace(500_000)
+	events := &obs.Slice{}
+	sys.Fab.Bus = obs.NewBus(events)
 
 	res, err := workload.Run(sys, cfg)
 	if err != nil {
@@ -77,25 +81,36 @@ func main() {
 		os.Exit(1)
 	}
 
-	var filter string
+	var filter mem.Addr
+	haveFilter := false
 	if *watch != "" {
 		a, err := strconv.ParseUint(strings.TrimPrefix(*watch, "0x"), 16, 64)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xgtrace: bad -watch address: %v\n", err)
 			os.Exit(2)
 		}
-		filter = mem.Addr(a).Line().String() + " "
+		filter = mem.Addr(a).Line()
+		haveFilter = true
 	}
 
+	if *jsonlOut != "" {
+		if err := writeJSONL(*jsonlOut, events.Events); err != nil {
+			fmt.Fprintf(os.Stderr, "xgtrace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	deliveries := uint64(0)
 	var lines []string
-	for _, l := range strings.Split(sys.Fab.Trace.Dump(), "\n") {
-		if l == "" || !strings.Contains(l, "RECV") {
+	for _, e := range events.Events {
+		if e.Kind != obs.KindRecv {
 			continue // one line per delivery keeps the view readable
 		}
-		if filter != "" && !strings.Contains(l, filter) {
+		deliveries++
+		if haveFilter && e.Addr.Line() != filter {
 			continue
 		}
-		lines = append(lines, l)
+		lines = append(lines, e.String())
 	}
 	if len(lines) > *tailN {
 		fmt.Printf("... (%d earlier deliveries elided)\n", len(lines)-*tailN)
@@ -105,5 +120,24 @@ func main() {
 		fmt.Println(l)
 	}
 	fmt.Printf("\n%v/%v/%v: %d accel accesses in %d ticks; avg latency %.1f; %d deliveries traced\n",
-		host, org, kind, res.AccelAccesses, res.Cycles, res.AccelAvgLat, sys.Fab.Trace.Total/2)
+		host, org, kind, res.AccelAccesses, res.Cycles, res.AccelAvgLat, deliveries)
+}
+
+func writeJSONL(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	j := obs.NewJSONL(f)
+	for _, e := range events {
+		if err := j.Emit(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := j.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

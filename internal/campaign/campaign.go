@@ -21,12 +21,14 @@ package campaign
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"crossingguard/internal/coherence"
+	"crossingguard/internal/obs"
 )
 
 // Options configures a campaign run.
@@ -36,8 +38,10 @@ type Options struct {
 	// Budget, when nonzero, makes RunBudget keep drawing fresh shards
 	// until the wall-clock budget expires (in-flight shards drain).
 	Budget time.Duration
-	// Trace enables the per-shard network trace ring; on failure the
-	// shard result carries the trace tail (the -repro path).
+	// Trace attaches a per-shard trace-bus ring; every shard result then
+	// carries its last-N structured events (exported via WriteTrace) and
+	// failing shards additionally carry a rendered trace tail in their
+	// artifact (the -repro path).
 	Trace bool
 	// Progress, when non-nil, receives interim throughput lines
 	// (shards/sec, stores/sec, cumulative coverage) while running.
@@ -76,6 +80,10 @@ type Report struct {
 	Cov map[string]*coherence.Coverage
 	// ByCode counts detected protocol violations per classified code.
 	ByCode map[string]uint64
+	// Metrics is every shard's metrics registry merged in shard-index
+	// order, so exported metrics JSON is byte-identical regardless of
+	// worker count.
+	Metrics *obs.Registry
 	// Elapsed is wall-clock time for the whole campaign (not part of
 	// the deterministic payload).
 	Elapsed time.Duration
@@ -98,6 +106,58 @@ func (r *Report) Totals() (stores, loads, checks, sent, violations uint64) {
 
 // Failures counts failed shards.
 func (r *Report) Failures() int { return len(r.Artifacts) }
+
+// WriteMetrics exports the merged metrics registry as indented JSON
+// (the -metrics flag of xgstress/xgcampaign; cmd/xgreport's input).
+// Output is byte-identical for a fixed shard set regardless of worker
+// count.
+func (r *Report) WriteMetrics(w io.Writer) error { return r.Metrics.WriteJSON(w) }
+
+// WriteTrace exports every shard's captured trace events as JSONL in
+// shard-index order, each line tagged with its shard index (the -trace
+// flag; requires Options.Trace). Output is byte-identical for a fixed
+// shard set regardless of worker count.
+func (r *Report) WriteTrace(w io.Writer) error {
+	j := obs.NewJSONL(w)
+	for i := range r.Shards {
+		s := &r.Shards[i]
+		j.Shard = s.Spec.Index
+		for _, e := range s.Events {
+			if err := j.Emit(e); err != nil {
+				return err
+			}
+		}
+	}
+	return j.Flush()
+}
+
+// ExportFiles writes the metrics JSON and/or trace JSONL exports to the
+// given paths; an empty path skips that export. This is the shared
+// implementation behind the CLIs' -metrics and -trace flags.
+func (r *Report) ExportFiles(metricsPath, tracePath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if metricsPath != "" {
+		if err := write(metricsPath, r.WriteMetrics); err != nil {
+			return fmt.Errorf("campaign: writing metrics: %w", err)
+		}
+	}
+	if tracePath != "" {
+		if err := write(tracePath, r.WriteTrace); err != nil {
+			return fmt.Errorf("campaign: writing trace: %w", err)
+		}
+	}
+	return nil
+}
 
 // CoverageClasses returns the controller class names present, sorted.
 func (r *Report) CoverageClasses() []string {
@@ -279,11 +339,13 @@ func aggregate(results []ShardResult, elapsed time.Duration, workers int) *Repor
 		Shards:  results,
 		Cov:     map[string]*coherence.Coverage{},
 		ByCode:  map[string]uint64{},
+		Metrics: obs.NewRegistry(),
 		Elapsed: elapsed,
 		Workers: workers,
 	}
 	for i := range results {
 		s := &results[i]
+		rep.Metrics.Merge(s.Obs)
 		mergeCoverage(rep.Cov, s.Cov)
 		for code, n := range s.ByCode {
 			rep.ByCode[code] += n

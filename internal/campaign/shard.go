@@ -13,7 +13,7 @@ import (
 	"crossingguard/internal/hostproto/hammer"
 	"crossingguard/internal/hostproto/mesi"
 	"crossingguard/internal/mem"
-	"crossingguard/internal/network"
+	"crossingguard/internal/obs"
 	"crossingguard/internal/perm"
 	"crossingguard/internal/seq"
 	"crossingguard/internal/tester"
@@ -34,6 +34,7 @@ const (
 
 var kindNames = [...]string{KindStress: "stress", KindFuzz: "fuzz"}
 
+// String returns the spec-string form of the kind ("stress" or "fuzz").
 func (k Kind) String() string { return kindNames[k] }
 
 // ShardSpec describes one unit of campaign work: a full simulated
@@ -94,6 +95,13 @@ type ShardResult struct {
 	Cov        map[string]*coherence.Coverage
 	Err        error
 	TraceDump  string
+	// Obs is the shard machine's metrics registry (nil for custom
+	// shards); the aggregator merges shard registries in index order.
+	Obs *obs.Registry
+	// Events is the shard's trace-ring tail (last N structured events),
+	// captured when tracing was enabled; the aggregator renders them as
+	// JSONL in shard-index order.
+	Events []obs.Event
 }
 
 // hostView narrows a fuzzed system for the stress tester: drive the CPUs
@@ -144,15 +152,16 @@ func runStressShard(res *ShardResult, trace bool) {
 	spec := res.Spec
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
 		CPUs: spec.CPUs, AccelCores: spec.Cores, Seed: spec.Seed * 97, Small: true})
-	var tr *network.Trace
+	var ring *obs.Ring
 	if trace {
-		tr = network.NewTrace(4000)
-		sys.Fab.Trace = tr
+		ring = obs.NewRing(4000)
+		sys.Fab.Bus = obs.NewBus(ring)
 	}
 	cfg := tester.DefaultConfig(spec.Seed * 131)
 	cfg.StoresPerLoc = spec.Stores
 	cfg.Deadline = 400_000_000
 	res.Res, res.Err = tester.Run(sys, cfg)
+	res.Obs = sys.Obs
 	res.Violations = uint64(sys.Log.Count())
 	for code, n := range sys.Log.ByCode {
 		res.ByCode[code] += n
@@ -163,8 +172,11 @@ func runStressShard(res *ShardResult, trace bool) {
 	if res.Err == nil {
 		recordCoverage(sys, res.Cov)
 	}
-	if res.Err != nil && tr != nil {
-		res.TraceDump = tr.Dump()
+	if ring != nil {
+		res.Events = ring.Events()
+		if res.Err != nil {
+			res.TraceDump = ring.Dump()
+		}
 	}
 }
 
@@ -186,10 +198,10 @@ func runFuzzShard(res *ShardResult, trace bool) {
 			att.NilDataProb = 0.1
 			return nil
 		}})
-	var tr *network.Trace
+	var ring *obs.Ring
 	if trace {
-		tr = network.NewTrace(4000)
-		sys.Fab.Trace = tr
+		ring = obs.NewRing(4000)
+		sys.Fab.Bus = obs.NewBus(ring)
 	}
 	att.Rampage(spec.Messages, 40)
 	cfg := tester.DefaultConfig(spec.Seed * 71)
@@ -198,6 +210,7 @@ func runFuzzShard(res *ShardResult, trace bool) {
 	cfg.Deadline = 200_000_000
 	cfg.SkipValueChecks = !spec.Confined && !spec.CheckValues
 	res.Res, res.Err = tester.Run(hostView{sys}, cfg)
+	res.Obs = sys.Obs
 	res.Sent = att.Sent
 	res.Violations = uint64(sys.Log.Count())
 	for code, n := range sys.Log.ByCode {
@@ -206,8 +219,11 @@ func runFuzzShard(res *ShardResult, trace bool) {
 	if res.Err == nil {
 		recordCoverage(sys, res.Cov)
 	}
-	if res.Err != nil && tr != nil {
-		res.TraceDump = tr.Dump()
+	if ring != nil {
+		res.Events = ring.Events()
+		if res.Err != nil {
+			res.TraceDump = ring.Dump()
+		}
 	}
 }
 

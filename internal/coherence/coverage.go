@@ -18,6 +18,10 @@ type Coverage struct {
 	visited  map[string]uint64
 	// Unexpected lists visited pairs that were never declared possible.
 	Unexpected []string
+	// OnRecord, when non-nil, observes every Record call. The obs layer
+	// hooks per-state transition counters here (obs.StateRecorder)
+	// without this package importing it.
+	OnRecord func(state, event string)
 }
 
 // NewCoverage returns an empty recorder for the named controller class.
@@ -50,6 +54,9 @@ func (c *Coverage) Record(state, event string) {
 		c.Unexpected = append(c.Unexpected, k)
 	}
 	c.visited[k]++
+	if c.OnRecord != nil {
+		c.OnRecord(state, event)
+	}
 }
 
 // Name returns the controller class name.

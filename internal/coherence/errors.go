@@ -17,6 +17,7 @@ type ProtocolError struct {
 	Detail string
 }
 
+// Error formats the violation as "where: code @addr: detail".
 func (e ProtocolError) Error() string {
 	return fmt.Sprintf("%s: %s @%v: %s", e.Where, e.Code, e.Addr, e.Detail)
 }

@@ -26,20 +26,20 @@ const NodeNone NodeID = -1
 type MsgType int
 
 const (
-	MsgInvalid MsgType = iota
+	MsgInvalid MsgType = iota // zero value; no valid message carries it
 
 	// --- Crossing Guard accelerator interface (paper §2.1) ---
 	// Accelerator -> XG requests (exactly five).
 	AGetS
-	AGetM
-	APutM // carries data
-	APutE // carries data
-	APutS
+	AGetM // request write permission
+	APutM // evict modified data; carries data
+	APutE // evict exclusive (clean) data; carries data
+	APutS // evict a shared copy (no data)
 	// XG -> accelerator responses (exactly four).
 	ADataS
-	ADataE
-	ADataM
-	AWBAck
+	ADataE // data with exclusive (clean) permission
+	ADataM // data with write permission
+	AWBAck // writeback acknowledged; line is no longer cached
 	// XG -> accelerator request (exactly one).
 	AInv
 	// Accelerator -> XG responses (exactly three).
@@ -51,25 +51,25 @@ const (
 	// cache -> directory
 	HGetS
 	HGetSOnly // non-upgradable GetS (host modification for Transactional XG)
-	HGetM
-	HPut    // first half of two-part writeback (no data)
-	HWBData // second half (data)
-	HUnblock
+	HGetM     // request write permission
+	HPut      // first half of two-part writeback (no data)
+	HWBData   // second half (data)
+	HUnblock  // requestor -> directory: transaction complete
 	// directory -> cache
 	HFwdGetS
-	HFwdGetSOnly
-	HFwdGetM
-	HWBAck
-	HNack
-	HMemData // speculative memory data to the requestor
+	HFwdGetSOnly // forwarded non-upgradable GetS
+	HFwdGetM     // owner must send data to Requestor and invalidate
+	HWBAck       // writeback accepted
+	HNack        // writeback raced a forward; retry resolved at the cache
+	HMemData     // speculative memory data to the requestor
 	// cache -> cache (responses to the requestor)
 	HData
-	HAck
+	HAck // invalidation/probe acknowledgement to the requestor
 
 	// --- MESI two-level inclusive host protocol ---
 	// L1 -> L2
 	MGetS
-	MGetM
+	MGetM     // request write permission
 	MGetInstr // non-upgradable (instruction-style) GetS
 	MPutM     // writeback, carries data, Dirty flag distinguishes PutM/PutE
 	MPutS     // sharer eviction notice (exact sharer tracking)
@@ -81,7 +81,7 @@ const (
 	MInvToL2  // invalidate; ack back to the L2 (inclusive eviction)
 	MFwdGetS  // owner must send data to Requestor and a copy to the L2
 	MFwdGetM  // owner must send data to Requestor and invalidate
-	MWBAck
+	MWBAck    // writeback acknowledged
 	// L1 -> L1 / L1 -> L2 responses
 	MInvAck     // to the requestor named in MInv
 	MInvAckToL2 // to the L2 (inclusive eviction)
@@ -92,24 +92,24 @@ const (
 	// --- Accelerator-internal (two-level accelerator hierarchy) ---
 	// accel L1 -> accel L2
 	XGetS
-	XGetM
-	XPutM // carries data
-	XPutS
+	XGetM // request write permission
+	XPutM // evict modified data; carries data
+	XPutS // evict a shared copy (no data)
 	// accel L2 -> accel L1
 	XDataS
-	XDataE
-	XDataM
-	XInv
-	XWBAck
+	XDataE // data with exclusive (clean) permission
+	XDataM // data with write permission
+	XInv   // invalidate
+	XWBAck // writeback acknowledged
 	// accel L1 -> accel L2
 	XInvAck
 	XInvWB // invalidation response carrying dirty data
 
 	// --- Sequencer-level (core <-> its private cache) ---
 	ReqLoad
-	ReqStore
-	RespLoad
-	RespStore
+	ReqStore  // store request; Val carries the byte to write
+	RespLoad  // load completion; Val carries the byte read
+	RespStore // store completion
 
 	numMsgTypes
 )
@@ -140,6 +140,7 @@ var msgTypeNames = [...]string{
 	ReqLoad: "Req:Load", ReqStore: "Req:Store", RespLoad: "Resp:Load", RespStore: "Resp:Store",
 }
 
+// String renders the protocol-prefixed wire name (e.g. "A:GetS").
 func (t MsgType) String() string {
 	if t >= 0 && int(t) < len(msgTypeNames) && msgTypeNames[t] != "" {
 		return msgTypeNames[t]
@@ -212,6 +213,8 @@ func (m *Msg) Bytes() int {
 	return ControlBytes
 }
 
+// String renders the message one-line: type, address, src->dst, and any
+// non-zero auxiliary fields (requestor, data/dirty, acks, shared).
 func (m *Msg) String() string {
 	s := fmt.Sprintf("%v %v %d->%d", m.Type, m.Addr, m.Src, m.Dst)
 	if m.Requestor != 0 && m.Requestor != NodeNone {

@@ -16,6 +16,7 @@ import (
 	"crossingguard/internal/hostproto/mesi"
 	"crossingguard/internal/mem"
 	"crossingguard/internal/network"
+	"crossingguard/internal/obs"
 	"crossingguard/internal/perm"
 	"crossingguard/internal/seq"
 	"crossingguard/internal/sim"
@@ -139,6 +140,11 @@ type Spec struct {
 	// organization (needed when a Transactional guard is attached after
 	// Build, as in the multi-device builder).
 	ForceTxnMods bool
+	// Obs, when set, is used as the machine's metrics registry instead
+	// of a fresh one — callers running several machines sequentially
+	// (cmd/xgsim's sweep) can accumulate into a single registry. Build
+	// always leaves the registry in use on System.Obs.
+	Obs *obs.Registry
 	// CustomAccel, when set on an XG organization, replaces the
 	// accelerator cache hierarchy: it is invoked once per guard with the
 	// accelerator-side node id and the guard id, must register a
@@ -158,6 +164,10 @@ type System struct {
 	Fab  *network.Fabric
 	Mem  *mem.Memory
 	Log  *coherence.ErrorLog
+	// Obs is the machine's metrics registry: every component's
+	// instruments (guard guarantee outcomes, host-protocol state
+	// transitions, network occupancy) register here at Build time.
+	Obs *obs.Registry
 
 	CPUSeqs   []*seq.Sequencer
 	AccelSeqs []*seq.Sequencer
@@ -204,7 +214,12 @@ func Build(spec Spec) *System {
 	fab := network.NewFabric(eng, spec.Seed, network.Config{Latency: lat.HostHop, Jitter: lat.Jitter, Ordered: true})
 	memory := mem.NewMemory()
 	log := coherence.NewErrorLog()
-	s := &System{Spec: spec, Eng: eng, Fab: fab, Mem: memory, Log: log}
+	reg := spec.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	fab.AttachObs(reg)
+	s := &System{Spec: spec, Eng: eng, Fab: fab, Mem: memory, Log: log, Obs: reg}
 
 	txnMods := spec.Org == OrgXGTxn1L || spec.Org == OrgXGTxn2L || spec.ForceTxnMods
 	switch spec.Host {
@@ -263,6 +278,7 @@ func (s *System) guardCfg(spec Spec, lat Latencies) core.Config {
 func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 	cfg := s.hammerCfg(spec.Small, txnMods)
 	s.HDir = hammer.NewDirectory(nodeHost, "hammer.dir", s.Eng, s.Fab, s.Mem, cfg, s.Log)
+	s.HDir.Cov.OnRecord = obs.StateRecorder(s.Obs, "hammer.dir")
 	s.outstandingFns = append(s.outstandingFns, s.HDir.Outstanding)
 
 	// Count the caches that will participate in broadcasts.
@@ -282,6 +298,7 @@ func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 	for i := 0; i < spec.CPUs; i++ {
 		c := hammer.NewCache(nodeCPU+coherence.NodeID(i), fmt.Sprintf("hammer.C[%d]", i),
 			s.Eng, s.Fab, nodeHost, responses, cfg, s.Log)
+		c.Cov.OnRecord = obs.StateRecorder(s.Obs, "hammer.cache")
 		s.HCaches = append(s.HCaches, c)
 		s.HDir.AddPeer(c.ID())
 		s.outstandingFns = append(s.outstandingFns, c.Outstanding)
@@ -302,6 +319,7 @@ func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 			id := nodeAccel + coherence.NodeID(i)
 			c := hammer.NewCache(id, fmt.Sprintf("hammer.A[%d]", i),
 				s.Eng, s.Fab, nodeHost, responses, acfg, s.Log)
+			c.Cov.OnRecord = obs.StateRecorder(s.Obs, "hammer.cache")
 			s.AccelHCaches = append(s.AccelHCaches, c)
 			s.HDir.AddPeer(c.ID())
 			s.outstandingFns = append(s.outstandingFns, c.Outstanding)
@@ -323,6 +341,7 @@ func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 			acID := nodeAccel + coherence.NodeID(i)
 			g := core.NewHammerGuard(xgID, fmt.Sprintf("xg[%d]", i), s.Eng, s.Fab,
 				acID, nodeHost, responses, s.guardCfg(spec, lat), s.Log)
+			g.AttachObs(s.Obs)
 			s.Guards = append(s.Guards, g)
 			s.HDir.AddPeer(g.ID())
 			s.outstandingFns = append(s.outstandingFns, g.Outstanding)
@@ -332,6 +351,7 @@ func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 		xgID := nodeXG
 		g := core.NewHammerGuard(xgID, "xg", s.Eng, s.Fab,
 			nodeAccelL2, nodeHost, responses, s.guardCfg(spec, lat), s.Log)
+		g.AttachObs(s.Obs)
 		s.Guards = append(s.Guards, g)
 		s.HDir.AddPeer(g.ID())
 		s.outstandingFns = append(s.outstandingFns, g.Outstanding)
@@ -362,11 +382,13 @@ func (s *System) attachAccelL1(spec Spec, lat Latencies, acID, xgID coherence.No
 func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
 	cfg := s.mesiCfg(spec.Small, txnMods)
 	s.ML2 = mesi.NewL2(nodeHost, "mesi.L2", s.Eng, s.Fab, s.Mem, cfg, s.Log)
+	s.ML2.Cov.OnRecord = obs.StateRecorder(s.Obs, "mesi.L2")
 	s.outstandingFns = append(s.outstandingFns, s.ML2.Outstanding)
 
 	for i := 0; i < spec.CPUs; i++ {
 		l1 := mesi.NewL1(nodeCPU+coherence.NodeID(i), fmt.Sprintf("mesi.L1[%d]", i),
 			s.Eng, s.Fab, nodeHost, cfg, s.Log)
+		l1.Cov.OnRecord = obs.StateRecorder(s.Obs, "mesi.L1")
 		s.ML1s = append(s.ML1s, l1)
 		s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
 		sq := seq.New(nodeCPUSeq+coherence.NodeID(i), fmt.Sprintf("cpu[%d]", i), s.Eng, s.Fab, l1.ID())
@@ -379,6 +401,7 @@ func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
 		for i := 0; i < spec.AccelCores; i++ {
 			id := nodeAccel + coherence.NodeID(i)
 			l1 := mesi.NewL1(id, fmt.Sprintf("mesi.A[%d]", i), s.Eng, s.Fab, nodeHost, cfg, s.Log)
+			l1.Cov.OnRecord = obs.StateRecorder(s.Obs, "mesi.L1")
 			s.AccelMCaches = append(s.AccelMCaches, l1)
 			s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
 			sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, id)
@@ -396,6 +419,7 @@ func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
 			acID := nodeAccel + coherence.NodeID(i)
 			g := core.NewMESIGuard(xgID, fmt.Sprintf("xg[%d]", i), s.Eng, s.Fab,
 				acID, nodeHost, s.guardCfg(spec, lat), s.Log)
+			g.AttachObs(s.Obs)
 			s.Guards = append(s.Guards, g)
 			s.outstandingFns = append(s.outstandingFns, g.Outstanding)
 			s.attachAccelL1(spec, lat, acID, xgID, i)
@@ -404,6 +428,7 @@ func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
 		xgID := nodeXG
 		g := core.NewMESIGuard(xgID, "xg", s.Eng, s.Fab,
 			nodeAccelL2, nodeHost, s.guardCfg(spec, lat), s.Log)
+		g.AttachObs(s.Obs)
 		s.Guards = append(s.Guards, g)
 		s.outstandingFns = append(s.outstandingFns, g.Outstanding)
 		s.buildTwoLevelAccel(spec, lat, xgID)

@@ -17,6 +17,7 @@ import (
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/mem"
 	"crossingguard/internal/network"
+	"crossingguard/internal/obs"
 	"crossingguard/internal/perm"
 	"crossingguard/internal/sim"
 )
@@ -131,6 +132,13 @@ type Guard struct {
 	Timeouts        uint64
 	RateDelayed     uint64
 	ReqsBlocked     uint64 // requests dropped by guarantee enforcement
+
+	// Observability (nil-safe no-ops until AttachObs). The hot-path
+	// instruments are fetched once; per-code violation counters are
+	// looked up through obsReg on the cold violation path only.
+	obsReg    *obs.Registry
+	mPass     *obs.Counter
+	mCrossing *obs.Histogram
 }
 
 // accelTxn is an open accelerator-initiated transaction.
@@ -138,6 +146,7 @@ type accelTxn struct {
 	kind  coherence.MsgType // AGetS, AGetM, APutM, APutE, APutS
 	data  *mem.Block        // Put payload held at the guard
 	dirty bool
+	start sim.Time // acceptance tick, for the crossing-latency histogram
 }
 
 // hostTxn is an open host-initiated recall toward the accelerator.
@@ -165,6 +174,20 @@ func newGuard(id coherence.NodeID, name string, eng *sim.Engine, fab *network.Fa
 	}
 	fab.Register(g)
 	return g
+}
+
+// AttachObs registers the guard's instruments with r: the
+// guard.check.pass counter (requests that cleared every guarantee
+// check), per-code guard.violation.<code> counters (XG.G0a .. XG.G2c,
+// XG.BadMessage, XG.BadSource, XG.Disabled), and the xg.crossing.ticks
+// histogram measuring request acceptance to grant/writeback-ack.
+// Violations and recall timeouts are also emitted as structured events
+// on the fabric's trace bus when one is attached. A nil registry leaves
+// the guard uninstrumented.
+func (g *Guard) AttachObs(r *obs.Registry) {
+	g.obsReg = r
+	g.mPass = r.Counter("guard.check.pass")
+	g.mCrossing = r.Histogram("xg.crossing.ticks")
 }
 
 // ID implements coherence.Controller.
@@ -213,11 +236,19 @@ func (g *Guard) after(fn func()) { g.eng.Schedule(g.cfg.GuardLat, fn) }
 // violation records a guarantee violation and applies the error policy.
 func (g *Guard) violation(code, detail string, addr mem.Addr) {
 	g.errors++
+	g.obsReg.Counter("guard.violation." + code).Inc()
+	if b := g.fab.Bus; b != nil {
+		b.Emit(obs.Event{
+			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindViolation,
+			Addr: addr, Payload: code + ": " + detail,
+		})
+	}
 	g.sink.ReportError(coherence.ProtocolError{
 		Where: g.name, Code: code, Addr: addr, Detail: detail,
 	})
 	if g.cfg.DisableAfter > 0 && g.errors >= g.cfg.DisableAfter && !g.Disabled {
 		g.Disabled = true
+		g.obsReg.Counter("guard.violation.XG.Disabled").Inc()
 		g.sink.ReportError(coherence.ProtocolError{
 			Where: g.name, Code: "XG.Disabled", Addr: addr,
 			Detail: fmt.Sprintf("accelerator disabled after %d violations", g.errors),
@@ -334,9 +365,10 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 // latency window (the Put/Inv race), in which case nothing reaches the
 // host.
 func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Access) {
+	g.mPass.Inc()
 	switch m.Type {
 	case coherence.AGetS, coherence.AGetM:
-		t := &accelTxn{kind: m.Type}
+		t := &accelTxn{kind: m.Type, start: g.eng.Now()}
 		g.txns[addr] = t
 		kind := GetExcl
 		if m.Type == coherence.AGetS {
@@ -356,7 +388,7 @@ func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Acce
 			}
 		})
 	case coherence.APutM, coherence.APutE:
-		t := &accelTxn{kind: m.Type, data: m.Data.Copy(), dirty: m.Type == coherence.APutM}
+		t := &accelTxn{kind: m.Type, data: m.Data.Copy(), dirty: m.Type == coherence.APutM, start: g.eng.Now()}
 		g.txns[addr] = t
 		g.after(func() {
 			if g.txns[addr] == t {
@@ -414,15 +446,24 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 	default:
 		ty = coherence.ADataS
 	}
+	g.mCrossing.Observe(float64(g.eng.Now() - t.start))
+	if b := g.fab.Bus; b != nil {
+		b.Emit(obs.Event{
+			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindGrant,
+			Addr: addr, Msg: ty, To: g.accel, Payload: accelLevel.String(),
+		})
+	}
 	g.after(func() { g.sendToAccel(ty, addr, data.Copy(), false) })
 }
 
 // putDone is called by the shim when the host acknowledges a writeback.
 func (g *Guard) putDone(addr mem.Addr) {
-	if _, ok := g.txns[addr]; !ok {
+	t, ok := g.txns[addr]
+	if !ok {
 		// The transaction may have been closed by a racing recall.
 		return
 	}
+	g.mCrossing.Observe(float64(g.eng.Now() - t.start))
 	delete(g.txns, addr)
 	if g.table != nil {
 		g.table.drop(addr)

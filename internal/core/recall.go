@@ -5,6 +5,7 @@ import (
 
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/mem"
+	"crossingguard/internal/obs"
 )
 
 // viewState is the guard's knowledge of the accelerator's copy of a block.
@@ -111,6 +112,12 @@ func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem
 // data) and reports the error.
 func (g *Guard) recallTimeout(addr mem.Addr, ht *hostTxn) {
 	g.Timeouts++
+	if b := g.fab.Bus; b != nil {
+		b.Emit(obs.Event{
+			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindTimeout,
+			Addr: addr, Payload: "recall watchdog fired",
+		})
+	}
 	g.violation("XG.G2c", "accelerator did not answer Invalidate within the timeout", addr)
 	g.closeRecall(addr, ht)
 	if ht.wantData {

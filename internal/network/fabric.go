@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"crossingguard/internal/coherence"
+	"crossingguard/internal/obs"
 	"crossingguard/internal/sim"
 )
 
@@ -58,6 +59,7 @@ type channel struct {
 	cfg         Config
 	lastArrival sim.Time
 	stats       *Stats
+	inflight    int // messages sent but not yet delivered on this channel
 }
 
 // Fabric routes messages between registered controllers.
@@ -69,15 +71,27 @@ type Fabric struct {
 	defaults Config
 	routes   map[chanKey]Config
 
-	// Trace, when non-nil, records every delivery (for debugging and
-	// post-mortem dumps on stress-test failure).
-	Trace *Trace
+	// Bus, when non-nil, receives a structured trace event for every
+	// send, delivery, and drop (obs.KindSend/KindRecv/KindDrop) — the
+	// typed replacement for the old printf trace ring, used by
+	// cmd/xgtrace and the campaign runner's failure artifacts. It is the
+	// system-wide trace bus: other components (the guard) also emit
+	// through it, since every component already holds the fabric.
+	Bus *obs.Bus
 
 	// Dropped counts sends to unregistered destinations (possible only
 	// when a fuzzing accelerator invents node IDs); they are counted and
 	// discarded rather than crashing the host, mirroring how real
 	// hardware ignores mis-routed packets.
 	Dropped uint64
+
+	// Metrics instruments (nil-safe no-ops without AttachObs): message
+	// and byte totals, drops, current/peak in-flight messages, and the
+	// per-send channel-depth distribution — the queue-occupancy view of
+	// the unbounded-buffer interconnect.
+	mMsgs, mBytes, mDropped *obs.Counter
+	mInflight               *obs.Gauge
+	mDepth                  *obs.Histogram
 }
 
 // NewFabric returns a fabric using eng for delivery scheduling and seed
@@ -91,6 +105,19 @@ func NewFabric(eng *sim.Engine, seed int64, defaults Config) *Fabric {
 		defaults: defaults,
 		routes:   make(map[chanKey]Config),
 	}
+}
+
+// AttachObs registers the fabric's instruments with r: counters
+// net.msgs / net.bytes / net.dropped, the net.inflight occupancy gauge
+// (with high-water mark), and the net.channel.depth histogram of the
+// destination channel's queue depth observed at each send. Call before
+// traffic starts; a nil registry leaves the fabric uninstrumented.
+func (f *Fabric) AttachObs(r *obs.Registry) {
+	f.mMsgs = r.Counter("net.msgs")
+	f.mBytes = r.Counter("net.bytes")
+	f.mDropped = r.Counter("net.dropped")
+	f.mInflight = r.Gauge("net.inflight")
+	f.mDepth = r.Histogram("net.channel.depth")
 }
 
 // Register adds a controller as a message endpoint. Registering two
@@ -135,13 +162,19 @@ func (f *Fabric) Send(m *coherence.Msg) {
 	dst, ok := f.nodes[m.Dst]
 	if !ok {
 		f.Dropped++
-		if f.Trace != nil {
-			f.Trace.Logf(f.eng.Now(), "DROP %v (no such node)", m)
+		f.mDropped.Inc()
+		if b := f.Bus; b != nil {
+			b.Emit(obs.MsgEvent(f.eng.Now(), obs.KindDrop, "net", m))
 		}
 		return
 	}
 	ch := f.channelFor(chanKey{m.Src, m.Dst})
 	ch.stats.add(m)
+	f.mMsgs.Inc()
+	f.mBytes.Add(uint64(m.Bytes()))
+	ch.inflight++
+	f.mInflight.Add(1)
+	f.mDepth.Observe(float64(ch.inflight))
 
 	delay := ch.cfg.Latency
 	if ch.cfg.Jitter > 0 {
@@ -152,12 +185,14 @@ func (f *Fabric) Send(m *coherence.Msg) {
 		arrival = ch.lastArrival
 	}
 	ch.lastArrival = arrival
-	if f.Trace != nil {
-		f.Trace.Logf(f.eng.Now(), "SEND %v (arr %d)", m, arrival)
+	if b := f.Bus; b != nil {
+		b.Emit(obs.MsgEvent(f.eng.Now(), obs.KindSend, "net", m))
 	}
 	f.eng.ScheduleAt(arrival, func() {
-		if f.Trace != nil {
-			f.Trace.Logf(f.eng.Now(), "RECV %v @%s", m, dst.Name())
+		ch.inflight--
+		f.mInflight.Add(-1)
+		if b := f.Bus; b != nil {
+			b.Emit(obs.MsgEvent(f.eng.Now(), obs.KindRecv, dst.Name(), m))
 		}
 		dst.Recv(m)
 	})

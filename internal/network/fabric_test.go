@@ -6,6 +6,7 @@ import (
 
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/mem"
+	"crossingguard/internal/obs"
 	"crossingguard/internal/sim"
 )
 
@@ -167,40 +168,58 @@ func TestVisitStats(t *testing.T) {
 	}
 }
 
-func TestTraceRing(t *testing.T) {
-	tr := NewTrace(4)
-	for i := 0; i < 10; i++ {
-		tr.Logf(sim.Time(i), "line %d", i)
-	}
-	if tr.Len() != 4 || tr.Total != 10 {
-		t.Fatalf("Len=%d Total=%d", tr.Len(), tr.Total)
-	}
-	dump := tr.Dump()
-	if want := "line 6"; !contains(dump, want) {
-		t.Fatalf("dump missing %q:\n%s", want, dump)
-	}
-	if contains(dump, "line 5") {
-		t.Fatal("dump kept evicted line")
-	}
-}
-
-func TestTraceAttachedToFabric(t *testing.T) {
+func TestBusAttachedToFabric(t *testing.T) {
 	eng, f, _, _ := setup(1, Config{Latency: 1})
-	f.Trace = NewTrace(16)
+	ring := obs.NewRing(16)
+	f.Bus = obs.NewBus(ring)
 	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 99}) // dropped
 	eng.RunUntilQuiet()
-	if f.Trace.Total < 2 { // SEND + RECV
-		t.Fatalf("trace captured %d lines", f.Trace.Total)
+	evs := ring.Events()
+	if len(evs) != 3 { // send + recv + drop
+		t.Fatalf("bus captured %d events, want 3:\n%s", len(evs), ring.Dump())
+	}
+	kinds := map[obs.Kind]int{}
+	for _, e := range evs {
+		kinds[e.Kind]++
+	}
+	if kinds[obs.KindSend] != 1 || kinds[obs.KindRecv] != 1 || kinds[obs.KindDrop] != 1 {
+		t.Fatalf("event kinds wrong: %v", kinds)
+	}
+	for _, e := range evs {
+		if e.Kind == obs.KindRecv && (e.Tick != 1 || e.Component != "sink") {
+			t.Fatalf("recv event tick=%d comp=%q, want 1/sink", e.Tick, e.Component)
+		}
 	}
 }
 
-func contains(s, sub string) bool {
-	return len(s) >= len(sub) && (func() bool {
-		for i := 0; i+len(sub) <= len(s); i++ {
-			if s[i:i+len(sub)] == sub {
-				return true
-			}
-		}
-		return false
-	})()
+func TestFabricMetrics(t *testing.T) {
+	eng, f, _, _ := setup(1, Config{Latency: 1})
+	r := obs.NewRegistry()
+	f.AttachObs(r)
+	for i := 0; i < 3; i++ {
+		f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	}
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 99}) // dropped
+	if got := r.Gauge("net.inflight").Value(); got != 3 {
+		t.Fatalf("inflight before delivery = %d, want 3", got)
+	}
+	eng.RunUntilQuiet()
+	if got := r.Counter("net.msgs").Value(); got != 3 {
+		t.Fatalf("net.msgs = %d, want 3", got)
+	}
+	if got := r.Counter("net.dropped").Value(); got != 1 {
+		t.Fatalf("net.dropped = %d, want 1", got)
+	}
+	g := r.Gauge("net.inflight")
+	if g.Value() != 0 || g.Max() != 3 {
+		t.Fatalf("inflight value=%d max=%d, want 0/3", g.Value(), g.Max())
+	}
+	if h := r.Histogram("net.channel.depth").Sample(); h.N() != 3 || h.Max() != 3 {
+		t.Fatalf("depth histogram n=%d max=%f, want 3/3", h.N(), h.Max())
+	}
+	wantBytes := uint64(3 * coherence.ControlBytes)
+	if got := r.Counter("net.bytes").Value(); got != wantBytes {
+		t.Fatalf("net.bytes = %d, want %d", got, wantBytes)
+	}
 }

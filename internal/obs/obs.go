@@ -1,0 +1,230 @@
+// Package obs is the observability layer threaded through the simulator:
+// a metrics registry (named counters, gauges, and tick-latency histograms)
+// plus a structured trace bus (typed events with pluggable sinks).
+//
+// Design constraints, in order:
+//
+//   - Zero allocation on hot paths. Components look their instruments up
+//     ONCE at construction and then touch plain struct fields; a counter
+//     increment is a nil check and an integer add. Trace emission is
+//     guarded by a nil check at every call site, so a simulation with no
+//     bus attached pays nothing.
+//
+//   - Determinism. A Registry is exported with sorted names and merged in
+//     caller-chosen (shard-index) order, so campaign reports and metrics
+//     files are byte-identical regardless of worker count. Nothing in
+//     this package reads the wall clock.
+//
+//   - One registry per simulated machine. Like the rest of the simulator
+//     ("one engine per goroutine, no sharing"), a Registry and a Bus are
+//     single-goroutine objects; cross-shard aggregation happens after the
+//     worker pool drains, via Merge.
+package obs
+
+import (
+	"sort"
+
+	"crossingguard/internal/stats"
+)
+
+// Counter is a monotonically increasing count. The nil Counter is a
+// valid no-op, so components built without a registry need no branches.
+type Counter struct {
+	v uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for the nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level (queue depth, table occupancy) that
+// also remembers its high-water mark. The nil Gauge is a valid no-op.
+type Gauge struct {
+	v, max int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add moves the level by d (d may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + d)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram accumulates a distribution of observations (typically
+// latencies in ticks), backed by stats.Sample so exports answer the
+// paper-style quantiles. The nil Histogram is a valid no-op.
+type Histogram struct {
+	s stats.Sample
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	if h != nil {
+		h.s.Add(x)
+	}
+}
+
+// Sample exposes the underlying sample (nil for the nil Histogram).
+func (h *Histogram) Sample() *stats.Sample {
+	if h == nil {
+		return nil
+	}
+	return &h.s
+}
+
+// Registry holds named instruments. Components register (or re-fetch —
+// the same name always yields the same instrument) at construction time.
+// Methods on a nil *Registry return nil instruments, whose methods are
+// no-ops, so observability is an opt-in that costs nothing when absent.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Merge folds other's instruments into r: counters add, gauge levels add
+// and high-water marks take the max, histogram samples concatenate.
+// Merging shard registries in shard-index order keeps every derived
+// number (including float sums) deterministic regardless of worker
+// scheduling. A nil other is a no-op.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	for _, name := range sortedKeys(other.counters) {
+		r.Counter(name).Add(other.counters[name].v)
+	}
+	for _, name := range sortedKeys(other.gauges) {
+		og := other.gauges[name]
+		g := r.Gauge(name)
+		g.v += og.v
+		if og.max > g.max {
+			g.max = og.max
+		}
+	}
+	for _, name := range sortedKeys(other.hists) {
+		r.Histogram(name).s.Merge(other.hists[name].Sample())
+	}
+}
+
+// StateRecorder adapts a Registry to coherence.Coverage's OnRecord hook:
+// it counts protocol transitions per originating controller state under
+// "<prefix>.state.<state>". The per-state counters are cached, so steady
+// state is one map lookup per transition, no allocation.
+func StateRecorder(r *Registry, prefix string) func(state, event string) {
+	if r == nil {
+		return nil
+	}
+	byState := make(map[string]*Counter)
+	return func(state, event string) {
+		c, ok := byState[state]
+		if !ok {
+			c = r.Counter(prefix + ".state." + state)
+			byState[state] = c
+		}
+		c.Inc()
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Sample() != nil {
+		t.Fatalf("nil instruments must be inert")
+	}
+	r.Merge(NewRegistry())
+	var b *Bus
+	b.Emit(Event{})
+	if b.Err() != nil {
+		t.Fatalf("nil bus must be inert")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatalf("same name must yield the same counter")
+	}
+	r.Counter("a").Add(2)
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("q")
+	g.Add(7)
+	g.Add(-3)
+	if g.Value() != 4 || g.Max() != 7 {
+		t.Fatalf("gauge value=%d max=%d, want 4/7", g.Value(), g.Max())
+	}
+	h := r.Histogram("lat")
+	h.Observe(10)
+	h.Observe(30)
+	if h.Sample().N() != 2 || h.Sample().Mean() != 20 {
+		t.Fatalf("histogram n=%d mean=%f", h.Sample().N(), h.Sample().Mean())
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c").Add(1)
+	b.Counter("c").Add(2)
+	b.Counter("only-b").Add(5)
+	a.Gauge("g").Set(3)
+	b.Gauge("g").Set(9)
+	b.Gauge("g").Set(1)
+	a.Histogram("h").Observe(4)
+	b.Histogram("h").Observe(8)
+	a.Merge(b)
+	if got := a.Counter("c").Value(); got != 3 {
+		t.Fatalf("merged counter = %d, want 3", got)
+	}
+	if got := a.Counter("only-b").Value(); got != 5 {
+		t.Fatalf("merged new counter = %d, want 5", got)
+	}
+	if g := a.Gauge("g"); g.Value() != 4 || g.Max() != 9 {
+		t.Fatalf("merged gauge value=%d max=%d, want 4/9", g.Value(), g.Max())
+	}
+	if s := a.Histogram("h").Sample(); s.N() != 2 || s.Max() != 8 {
+		t.Fatalf("merged hist n=%d max=%f", s.N(), s.Max())
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("z.last").Add(1)
+		r.Counter("a.first").Add(2)
+		r.Gauge("net.inflight").Set(7)
+		r.Histogram("xg.crossing.ticks").Observe(100)
+		r.Histogram("xg.crossing.ticks").Observe(300)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("metrics JSON not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	s, err := ReadSnapshot(&b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a.first"] != 2 || s.Counters["z.last"] != 1 {
+		t.Fatalf("round-trip counters: %v", s.Counters)
+	}
+	if h := s.Histograms["xg.crossing.ticks"]; h.N != 2 || h.Mean != 200 || h.Max != 300 {
+		t.Fatalf("round-trip histogram: %+v", h)
+	}
+}
+
+func TestStateRecorder(t *testing.T) {
+	r := NewRegistry()
+	rec := StateRecorder(r, "hammer.cache")
+	rec("M", "H:FwdGetS")
+	rec("M", "H:FwdGetM")
+	rec("I", "Load")
+	if got := r.Counter("hammer.cache.state.M").Value(); got != 2 {
+		t.Fatalf("state.M = %d, want 2", got)
+	}
+	if got := r.Counter("hammer.cache.state.I").Value(); got != 1 {
+		t.Fatalf("state.I = %d, want 1", got)
+	}
+	if StateRecorder(nil, "x") != nil {
+		t.Fatalf("nil registry must yield a nil recorder")
+	}
+}
+
+func TestSnapshotEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty")
+	s := r.Snapshot()
+	if h, ok := s.Histograms["empty"]; !ok || h.N != 0 {
+		t.Fatalf("empty histogram snapshot: %+v ok=%v", h, ok)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"empty"`) {
+		t.Fatalf("empty histogram missing from export:\n%s", b.String())
+	}
+}

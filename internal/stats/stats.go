@@ -32,6 +32,18 @@ func (s *Sample) AddN(xs ...float64) {
 	}
 }
 
+// Merge appends other's observations to s in their insertion order, so
+// that merging samples in a fixed order yields bit-identical moments
+// (float summation order matters). A nil other is a no-op.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil {
+		return
+	}
+	for _, x := range other.xs {
+		s.Add(x)
+	}
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 

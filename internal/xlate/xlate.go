@@ -20,6 +20,7 @@ import (
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/mem"
 	"crossingguard/internal/network"
+	"crossingguard/internal/obs"
 	"crossingguard/internal/sim"
 )
 
@@ -38,7 +39,8 @@ const (
 type wideLine struct {
 	busy     bool // paired transaction outstanding
 	op       *coherence.Msg
-	pending  int // sub-block responses still expected
+	pending  int      // sub-block responses still expected
+	issue    sim.Time // first sub-block request tick, for crossing latency
 	inflight [2]bool
 	half     [2]halfState
 	dirty    [2]bool
@@ -62,6 +64,10 @@ type WideAccel struct {
 	// wide writebacks split into host blocks; FalseShareRecalls counts
 	// wide lines lost because the host invalidated one half.
 	Merges, Splits, FalseShareRecalls uint64
+
+	// Observability (nil-safe no-ops until AttachObs).
+	mMerges, mSplits, mFalseShare *obs.Counter
+	mCrossing                     *obs.Histogram
 }
 
 // NewWideAccel builds and registers a wide-block accelerator. sets/ways
@@ -76,6 +82,19 @@ func NewWideAccel(id coherence.NodeID, name string, eng *sim.Engine, fab *networ
 	}
 	fab.Register(w)
 	return w
+}
+
+// AttachObs registers the translation layer's instruments with r:
+// counters xlate.merges / xlate.splits / xlate.falseshare mirroring the
+// Merges / Splits / FalseShareRecalls fields, and the
+// xlate.crossing.ticks histogram measuring a wide fill's sub-block
+// issue to its last sub-block grant. A nil registry leaves the
+// accelerator uninstrumented.
+func (w *WideAccel) AttachObs(r *obs.Registry) {
+	w.mMerges = r.Counter("xlate.merges")
+	w.mSplits = r.Counter("xlate.splits")
+	w.mFalseShare = r.Counter("xlate.falseshare")
+	w.mCrossing = r.Histogram("xlate.crossing.ticks")
 }
 
 // wideAddr aligns an address to the accelerator's 128-byte granule.
@@ -188,6 +207,8 @@ func (w *WideAccel) fill(e *cacheset.Entry[wideLine], wa mem.Addr, op *coherence
 	}
 	if e.V.pending == 0 {
 		w.completeFill(e)
+	} else {
+		e.V.issue = w.eng.Now()
 	}
 }
 
@@ -212,6 +233,8 @@ func (w *WideAccel) handleData(m *coherence.Msg) {
 	e.V.pending--
 	if e.V.pending == 0 {
 		w.Merges++
+		w.mMerges.Inc()
+		w.mCrossing.Observe(float64(w.eng.Now() - e.V.issue))
 		w.completeFill(e)
 	}
 }
@@ -255,6 +278,7 @@ func (w *WideAccel) evict(wa mem.Addr, v *wideLine) {
 	}
 	if outstanding > 0 {
 		w.Splits++
+		w.mSplits.Inc()
 		w.wb[wa] = outstanding
 	}
 }
@@ -302,6 +326,7 @@ func (w *WideAccel) handleInv(m *coherence.Msg) {
 	}
 	if e.V.data[1-h] != nil {
 		w.FalseShareRecalls++ // useful wide line broken up
+		w.mFalseShare.Inc()
 	}
 	e.V.data[h] = nil
 	e.V.dirty[h] = false
