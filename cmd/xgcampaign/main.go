@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	xgcampaign [-mode stress|fuzz|all] [-seeds N] [-workers N]
+//	xgcampaign [-mode stress|fuzz|chaos|all] [-seeds N] [-workers N]
 //	           [-budget 30s] [-stores N] [-messages N] [-cpus N] [-cores N]
 //	           [-checked] [-coverage=false] [-metrics out.json] [-trace out.jsonl]
 //	xgcampaign -repro 'kind=stress host=hammer org=xg-full/1L seed=3 ...'
@@ -17,6 +17,16 @@
 // expires, reporting shards/sec, stores/sec, and cumulative transition
 // coverage as it goes. -repro re-runs a single captured shard with the
 // network trace enabled and dumps the trace tail on failure.
+//
+// -mode chaos sweeps adversarial accelerator models x deterministic
+// fault plans against guards armed with recall retries and quarantine;
+// failure artifacts embed the fault plan (faults=...) so -repro replays
+// the exact fault schedule. -mode all covers stress+fuzz (chaos is its
+// own mode: quarantines are expected there and exit distinctly).
+//
+// Exit codes (documented in README.md): 0 all shards passed, 1 at least
+// one guarantee violation / hang / crash / corruption, 2 usage error,
+// 3 all shards passed but at least one guard quarantined its accelerator.
 package main
 
 import (
@@ -31,7 +41,7 @@ import (
 )
 
 var (
-	mode     = flag.String("mode", "all", "shard kinds to run: stress, fuzz, or all")
+	mode     = flag.String("mode", "all", "shard kinds to run: stress, fuzz, chaos, or all (= stress+fuzz)")
 	seeds    = flag.Int("seeds", 5, "random seeds per configuration (fixed-set mode)")
 	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	budget   = flag.Duration("budget", 0, "wall-clock budget; nonzero switches to budgeted mode with unlimited seeds")
@@ -58,12 +68,14 @@ func main() {
 		base = campaign.StressSweep(1, *cpus, *cores, *stores)
 	case "fuzz":
 		base = campaign.FuzzSweep(1, *cpus, *messages)
+	case "chaos":
+		base = campaign.ChaosSweep(1, *cpus, *messages)
 	case "all":
 		base = append(campaign.StressSweep(1, *cpus, *cores, *stores),
 			campaign.FuzzSweep(1, *cpus, *messages)...)
 	default:
-		fmt.Fprintf(os.Stderr, "xgcampaign: unknown -mode %q (want stress, fuzz, or all)\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "xgcampaign: unknown -mode %q (want stress, fuzz, chaos, or all)\n", *mode)
+		os.Exit(campaign.ExitUsage)
 	}
 	if *checked {
 		for i := range base {
@@ -91,12 +103,10 @@ func main() {
 
 	if err := rep.ExportFiles(*metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
-		os.Exit(1)
+		os.Exit(campaign.ExitViolation)
 	}
 	printReport(rep)
-	if rep.Failures() > 0 {
-		os.Exit(1)
-	}
+	os.Exit(rep.ExitCode())
 }
 
 func printReport(rep *campaign.Report) {
@@ -151,6 +161,14 @@ func printReport(rep *campaign.Report) {
 	fmt.Printf("\n%d shards on %d workers in %.1fs (%.1f shards/s, %.0f stores/s); %d stores, %d checked loads, %d fuzz msgs, %d violations classified\n",
 		len(rep.Shards), rep.Workers, secs,
 		float64(len(rep.Shards))/secs, float64(stores)/secs, stores, checks, sent, violations)
+	if rep.Quarantines > 0 {
+		var injected uint64
+		for i := range rep.Shards {
+			injected += rep.Shards[i].Injected
+		}
+		fmt.Printf("chaos: %d faults injected, %d shards ended with the accelerator quarantined (degraded but safe; exit %d)\n",
+			injected, rep.Quarantines, campaign.ExitQuarantine)
+	}
 
 	if *coverage && len(rep.Cov) > 0 {
 		fmt.Println("\nstate/event coverage (visited pairs / declared-possible pairs), merged across shards:")
@@ -176,38 +194,51 @@ func printReport(rep *campaign.Report) {
 }
 
 func variantOf(s campaign.ShardSpec) string {
-	if s.Kind != campaign.KindFuzz {
-		return "-"
+	switch s.Kind {
+	case campaign.KindFuzz:
+		switch {
+		case s.Confined:
+			return "confined"
+		case s.CheckValues:
+			return "checked"
+		}
+		return "shared"
+	case campaign.KindChaos:
+		p := s.Faults
+		p.Seed = 0 // group rows by fault profile, not per-seed schedule
+		v := "faults=" + p.Spec()
+		if s.Confined {
+			v += "+confined"
+		}
+		return v
 	}
-	switch {
-	case s.Confined:
-		return "confined"
-	case s.CheckValues:
-		return "checked"
-	}
-	return "shared"
+	return "-"
 }
 
 func runRepro(spec string) int {
 	s, err := campaign.ParseSpec(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
-		return 2
+		return campaign.ExitUsage
 	}
 	fmt.Printf("re-running shard: %s\n", campaign.FormatSpec(s))
 	start := time.Now()
 	res := campaign.RunShard(s, true)
-	fmt.Printf("stores=%d loads=%d checked=%d sent=%d violations=%d simtime=%d wall=%v\n",
-		res.Res.Stores, res.Res.Loads, res.Res.LoadChecks, res.Sent, res.Violations,
+	fmt.Printf("stores=%d loads=%d checked=%d sent=%d faults=%d violations=%d simtime=%d wall=%v\n",
+		res.Res.Stores, res.Res.Loads, res.Res.LoadChecks, res.Sent, res.Injected, res.Violations,
 		res.Res.EndTime, time.Since(start).Round(time.Millisecond))
 	if res.Err == nil {
+		if res.Quarantined {
+			fmt.Println("PASS: shard completed with the accelerator quarantined (degraded but safe)")
+			return campaign.ExitQuarantine
+		}
 		fmt.Println("PASS: shard completed cleanly")
-		return 0
+		return campaign.ExitOK
 	}
 	fmt.Printf("FAIL (reproduced): %v\n", res.Err)
 	if res.TraceDump != "" {
 		fmt.Println("\n--- network trace tail ---")
 		fmt.Print(res.TraceDump)
 	}
-	return 1
+	return campaign.ExitViolation
 }

@@ -63,9 +63,44 @@ var guaranteeNames = []struct{ code, prose string }{
 
 func render(w io.Writer, s obs.Snapshot) {
 	renderGuarantees(w, s)
+	renderRobustness(w, s)
 	renderCrossings(w, s)
 	renderStates(w, s)
 	renderNetwork(w, s)
+}
+
+// renderRobustness prints the fault-injection and graceful-degradation
+// counters a chaos campaign produces (docs/PROTOCOL.md "Fault model &
+// quarantine semantics"). Absent from non-chaos runs, so the section
+// only renders when something was injected or fenced.
+func renderRobustness(w io.Writer, s obs.Snapshot) {
+	rows := []struct{ key, label string }{
+		{"fault.injected", "faults injected (all kinds)"},
+		{"fault.drop", "  dropped"},
+		{"fault.dup", "  duplicated"},
+		{"fault.corrupt", "  bit-corrupted"},
+		{"fault.delay", "  delayed"},
+		{"fault.reorder", "  reordered"},
+		{"guard.recall.retry", "recall retries (watchdog re-sends)"},
+		{"guard.quarantine.entered", "accelerators quarantined"},
+		{"guard.quarantine.fenced_lines", "  lines fenced at entry"},
+		{"guard.quarantine.recalls", "  recalls answered from trusted state"},
+		{"guard.quarantine.nacks", "  requests nacked while fenced"},
+		{"guard.quarantine.dropped", "  late responses swallowed"},
+	}
+	if s.Counters["fault.injected"] == 0 && s.Counters["guard.quarantine.entered"] == 0 &&
+		s.Counters["guard.recall.retry"] == 0 {
+		return
+	}
+	fmt.Fprintln(w, "robustness (fault injection and graceful degradation)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, r := range rows {
+		if n, ok := s.Counters[r.key]; ok {
+			fmt.Fprintf(tw, "  %s\t%d\n", r.label, n)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
 }
 
 func renderGuarantees(w io.Writer, s obs.Snapshot) {

@@ -47,7 +47,7 @@ func main() {
 	rep := campaign.Run(specs, campaign.Options{Workers: *workers, Trace: *trace != ""})
 	if err := rep.ExportFiles(*metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "xgstress:", err)
-		os.Exit(1)
+		os.Exit(campaign.ExitViolation)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -104,6 +104,6 @@ func main() {
 			a.Spec.Index, a.Spec.Name(), a.Spec.Seed, a.Err, a.Repro)
 	}
 	if failures > 0 {
-		os.Exit(1)
+		os.Exit(campaign.ExitViolation)
 	}
 }

@@ -1,0 +1,369 @@
+package accel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/sim"
+)
+
+// AdvModel selects an adversarial (Byzantine) accelerator behavior for
+// chaos testing. Unlike the fuzz attacker — which sprays uniformly random
+// messages — each model is a *plausible* failure mode: a wedged device, a
+// runaway DMA engine, a cache returning stale data, firmware replaying
+// the wrong response, or a device that is merely too slow. The guard must
+// uphold Guarantees 0a-2c against every one of them.
+type AdvModel int
+
+const (
+	// AdvSilent acquires lines correctly, then goes permanently dark:
+	// it never answers Invalidate (a hung device; forces 2c timeouts).
+	AdvSilent AdvModel = iota
+	// AdvBabbler floods requests with no regard for open transactions
+	// (a runaway request engine; forces G1b and the rate limiter).
+	AdvBabbler
+	// AdvStaleWriter acquires ownership and answers recalls with stale,
+	// scrambled data (a broken cache; Full State cannot make an owner's
+	// data honest, only keep it inside the accelerator's own pages).
+	AdvStaleWriter
+	// AdvConfused answers Invalidate with random interface messages and
+	// volunteers responses nothing asked for (firmware replaying the
+	// wrong packet; forces 2a/2b validation).
+	AdvConfused
+	// AdvSlowpoke behaves correctly but answers Invalidate only after
+	// the 2c deadline has passed (a too-slow device; its late responses
+	// race the watchdog and retries).
+	AdvSlowpoke
+
+	numAdvModels
+)
+
+var advModelNames = [numAdvModels]string{"silent", "babbler", "stalewriter", "confused", "slowpoke"}
+
+// String returns the spec token for the model (e.g. "babbler").
+func (m AdvModel) String() string {
+	if m >= 0 && int(m) < len(advModelNames) {
+		return advModelNames[m]
+	}
+	return fmt.Sprintf("AdvModel(%d)", int(m))
+}
+
+// ParseAdvModel parses a model name as produced by String.
+func ParseAdvModel(s string) (AdvModel, error) {
+	for i, n := range advModelNames {
+		if s == n {
+			return AdvModel(i), nil
+		}
+	}
+	return 0, fmt.Errorf("accel: unknown adversary model %q (want %s)",
+		s, strings.Join(advModelNames[:], "|"))
+}
+
+// AllAdvModels lists every adversary model, in sweep order.
+var AllAdvModels = []AdvModel{AdvSilent, AdvBabbler, AdvStaleWriter, AdvConfused, AdvSlowpoke}
+
+// AdvConfig parameterizes an Adversary.
+type AdvConfig struct {
+	Model AdvModel
+	// Seed drives every random choice; same seed, same behavior.
+	Seed int64
+	// Pool is the address set the adversary works over.
+	Pool []mem.Addr
+	// Budget bounds self-initiated sends so the engine always drains;
+	// responses to Invalidate are not budgeted (they are bounded by the
+	// host's own recall traffic).
+	Budget int
+	// Gap is the maximum tick gap between self-initiated actions.
+	Gap sim.Time
+	// Deadline is the guard's 2c timeout, which AdvSlowpoke deliberately
+	// overshoots (answering at Deadline + Deadline/2).
+	Deadline sim.Time
+}
+
+// Adversary is a Byzantine accelerator endpoint implementing one
+// AdvModel. It is deliberately not a cache: it keeps just enough state
+// (open transaction, lines it believes it holds) to misbehave in a
+// model-specific, deterministic way. Plug it into a machine via
+// config.Spec.CustomAccel.
+type Adversary struct {
+	id  coherence.NodeID
+	xg  coherence.NodeID
+	eng *sim.Engine
+	fab *network.Fabric
+	rng *rand.Rand
+	cfg AdvConfig
+
+	open     map[mem.Addr]coherence.MsgType // self-initiated open transactions
+	held     map[mem.Addr]*mem.Block        // lines granted to us (data as granted)
+	stale    map[mem.Addr]*mem.Block        // first data ever seen per line (AdvStaleWriter)
+	dark     bool                           // AdvSilent has stopped answering
+	acquired int                            // lines acquired so far (AdvSilent goes dark after a few)
+
+	// Sent counts self-initiated messages; Grants / WBAcks / Invs /
+	// Nacks count guard traffic observed.
+	Sent, Grants, WBAcks, Invs, Nacks uint64
+}
+
+// NewAdversary builds and registers an adversary as the accelerator node
+// facing guard xg.
+func NewAdversary(id, xg coherence.NodeID, eng *sim.Engine, fab *network.Fabric, cfg AdvConfig) *Adversary {
+	if len(cfg.Pool) == 0 {
+		panic("accel: adversary needs a non-empty address pool")
+	}
+	if cfg.Gap <= 0 {
+		cfg.Gap = 10
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = 1000
+	}
+	a := &Adversary{
+		id: id, xg: xg, eng: eng, fab: fab,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+		open:  make(map[mem.Addr]coherence.MsgType),
+		held:  make(map[mem.Addr]*mem.Block),
+		stale: make(map[mem.Addr]*mem.Block),
+	}
+	fab.Register(a)
+	a.eng.Schedule(1, func() { a.step(cfg.Budget) })
+	return a
+}
+
+// ID implements coherence.Controller.
+func (a *Adversary) ID() coherence.NodeID { return a.id }
+
+// Name implements coherence.Controller.
+func (a *Adversary) Name() string { return "adv." + a.cfg.Model.String() }
+
+// Outstanding always reports zero: an adversary's "transactions" must
+// never hold the harness's drain check hostage (the host-side health
+// checks are what chaos runs assert on).
+func (a *Adversary) Outstanding() int { return 0 }
+
+// Recv implements coherence.Controller.
+func (a *Adversary) Recv(m *coherence.Msg) {
+	addr := m.Addr.Line()
+	switch m.Type {
+	case coherence.ADataS, coherence.ADataE, coherence.ADataM:
+		a.Grants++
+		delete(a.open, addr)
+		var blk mem.Block
+		if m.Data != nil {
+			blk = *m.Data
+		}
+		a.held[addr] = &blk
+		if _, ok := a.stale[addr]; !ok {
+			cp := blk
+			a.stale[addr] = &cp
+		}
+	case coherence.AWBAck:
+		a.WBAcks++
+		delete(a.open, addr)
+		delete(a.held, addr)
+	case coherence.AInv:
+		a.Invs++
+		a.answerInv(addr)
+	case coherence.ANack:
+		// Quarantined: the guard refuses service. Close the transaction
+		// the nack answers so our bookkeeping cannot grow without bound.
+		a.Nacks++
+		delete(a.open, addr)
+	}
+}
+
+// step is the self-initiated driver: one action, then reschedule until
+// the budget is spent. Every model keeps the gap deterministic in
+// [1, Gap].
+func (a *Adversary) step(left int) {
+	if left <= 0 {
+		return
+	}
+	switch a.cfg.Model {
+	case AdvSilent:
+		a.stepAcquire(3)
+	case AdvBabbler:
+		a.stepBabble()
+	case AdvStaleWriter:
+		a.stepStaleWriter()
+	case AdvConfused:
+		a.stepConfused()
+	case AdvSlowpoke:
+		a.stepCorrect()
+	}
+	gap := sim.Time(a.rng.Int63n(int64(a.cfg.Gap))) + 1
+	a.eng.Schedule(gap, func() { a.step(left - 1) })
+}
+
+// stepAcquire issues correct Get requests (one open transaction per line,
+// never for a line already held) until `quota` lines are acquired, then
+// goes dark: AdvSilent's pathology is what it *stops* doing.
+func (a *Adversary) stepAcquire(quota int) {
+	if a.acquired >= quota {
+		a.dark = true
+		return
+	}
+	addr := a.pick()
+	if _, open := a.open[addr]; open {
+		return
+	}
+	if _, have := a.held[addr]; have {
+		return
+	}
+	ty := coherence.AGetS
+	if a.rng.Intn(2) == 0 {
+		ty = coherence.AGetM
+	}
+	a.open[addr] = ty
+	a.acquired++
+	a.send(ty, addr, nil, false)
+}
+
+// stepBabble fires a random request regardless of open transactions —
+// including repeated requests for the same line (G1b) and data-less Puts
+// (G1 hygiene).
+func (a *Adversary) stepBabble() {
+	types := [...]coherence.MsgType{coherence.AGetS, coherence.AGetM,
+		coherence.APutM, coherence.APutE, coherence.APutS}
+	ty := types[a.rng.Intn(len(types))]
+	var data *mem.Block
+	if ty.CarriesData() && a.rng.Intn(4) != 0 {
+		data = a.randomBlock()
+	}
+	a.send(ty, a.pick(), data, ty == coherence.APutM)
+}
+
+// stepStaleWriter acquires ownership like a correct cache, but also
+// volunteers PutM writebacks carrying scrambled stale data.
+func (a *Adversary) stepStaleWriter() {
+	addr := a.pick()
+	if _, open := a.open[addr]; open {
+		return
+	}
+	if _, have := a.held[addr]; !have {
+		a.open[addr] = coherence.AGetM
+		a.send(coherence.AGetM, addr, nil, false)
+		return
+	}
+	a.open[addr] = coherence.APutM
+	a.send(coherence.APutM, addr, a.staleBlock(addr), true)
+	delete(a.held, addr)
+}
+
+// stepConfused volunteers responses nothing asked for (G2b) mixed with
+// ordinary requests it immediately forgets about.
+func (a *Adversary) stepConfused() {
+	addr := a.pick()
+	switch a.rng.Intn(4) {
+	case 0:
+		a.send(coherence.AInvAck, addr, nil, false)
+	case 1:
+		a.send(coherence.ADirtyWB, addr, a.randomBlock(), true)
+	case 2:
+		a.send(coherence.ACleanWB, addr, a.randomBlock(), false)
+	default:
+		// A request it will never track: later grants/acks find no open
+		// transaction on our side, and a duplicate request trips G1b.
+		a.send(coherence.AGetS, addr, nil, false)
+	}
+}
+
+// stepCorrect is a well-behaved request engine: acquire lines one
+// transaction at a time, occasionally write them back properly.
+// AdvSlowpoke uses it — its only sin is latency on the response path.
+func (a *Adversary) stepCorrect() {
+	addr := a.pick()
+	if _, open := a.open[addr]; open {
+		return
+	}
+	if blk, have := a.held[addr]; have {
+		if a.rng.Intn(2) == 0 {
+			a.open[addr] = coherence.APutM
+			a.send(coherence.APutM, addr, blk, true)
+			delete(a.held, addr)
+		}
+		return
+	}
+	ty := coherence.AGetS
+	if a.rng.Intn(2) == 0 {
+		ty = coherence.AGetM
+	}
+	a.open[addr] = ty
+	a.send(ty, addr, nil, false)
+}
+
+// answerInv is each model's response to a host recall.
+func (a *Adversary) answerInv(addr mem.Addr) {
+	switch a.cfg.Model {
+	case AdvSilent:
+		if a.dark {
+			return // the whole point
+		}
+		a.respond(coherence.AInvAck, addr, nil, false, 0)
+	case AdvBabbler:
+		// Too busy babbling to answer.
+		return
+	case AdvStaleWriter:
+		delete(a.held, addr)
+		a.respond(coherence.ADirtyWB, addr, a.staleBlock(addr), true, 0)
+	case AdvConfused:
+		delete(a.held, addr)
+		types := [...]coherence.MsgType{coherence.AInvAck, coherence.ACleanWB,
+			coherence.ADirtyWB, coherence.AGetM}
+		ty := types[a.rng.Intn(len(types))]
+		var data *mem.Block
+		if ty.CarriesData() {
+			data = a.randomBlock()
+		}
+		a.respond(ty, addr, data, ty == coherence.ADirtyWB, 0)
+	case AdvSlowpoke:
+		// The correct response, at exactly the wrong time: past the 2c
+		// deadline, racing the watchdog's substitute answer.
+		late := a.cfg.Deadline + a.cfg.Deadline/2
+		if blk, have := a.held[addr]; have {
+			delete(a.held, addr)
+			a.respond(coherence.ADirtyWB, addr, blk, true, late)
+		} else {
+			a.respond(coherence.AInvAck, addr, nil, false, late)
+		}
+	}
+}
+
+// respond sends a recall response after delay (0 = next tick). Responses
+// are not budgeted: they are bounded by the host's recall traffic.
+func (a *Adversary) respond(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool, delay sim.Time) {
+	if delay <= 0 {
+		delay = 1
+	}
+	a.eng.Schedule(delay, func() { a.send(ty, addr, data, dirty) })
+}
+
+func (a *Adversary) send(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool) {
+	a.Sent++
+	a.fab.Send(&coherence.Msg{Type: ty, Addr: addr, Src: a.id, Dst: a.xg, Data: data, Dirty: dirty})
+}
+
+func (a *Adversary) pick() mem.Addr {
+	return a.cfg.Pool[a.rng.Intn(len(a.cfg.Pool))].Line()
+}
+
+// staleBlock returns deliberately wrong data for addr: the first value
+// ever observed for the line, scrambled further so it can never pass for
+// current.
+func (a *Adversary) staleBlock(addr mem.Addr) *mem.Block {
+	var blk mem.Block
+	if old, ok := a.stale[addr]; ok {
+		blk = *old
+	}
+	blk[int(addr)%mem.BlockBytes] ^= 0xA5
+	return &blk
+}
+
+func (a *Adversary) randomBlock() *mem.Block {
+	var b mem.Block
+	a.rng.Read(b[:])
+	return &b
+}

@@ -89,6 +89,39 @@ type Report struct {
 	Elapsed time.Duration
 	// Workers is the pool size used.
 	Workers int
+	// Quarantines counts shards whose guard fenced its accelerator
+	// (chaos campaigns; graceful degradation, reported distinctly).
+	Quarantines int
+}
+
+// Process exit codes shared by the campaign CLIs (xgcampaign, xgstress,
+// xgfuzz), documented in README.md: a guarantee violation is always a
+// distinct, nonzero exit; quarantine-triggered runs that otherwise passed
+// get their own code so chaos CI can accept degradation while still
+// failing on violations.
+const (
+	// ExitOK: every shard passed, no guard quarantined.
+	ExitOK = 0
+	// ExitViolation: at least one shard failed (guarantee violation,
+	// hang, crash, or corruption) — the campaign's failure exit.
+	ExitViolation = 1
+	// ExitUsage: bad flags or spec (the conventional usage exit).
+	ExitUsage = 2
+	// ExitQuarantine: all shards passed but at least one guard fenced
+	// its accelerator (expected under chaos; distinct so callers can
+	// tell degraded-but-safe from fully clean).
+	ExitQuarantine = 3
+)
+
+// ExitCode maps the report onto the documented process exit contract.
+func (r *Report) ExitCode() int {
+	if r.Failures() > 0 {
+		return ExitViolation
+	}
+	if r.Quarantines > 0 {
+		return ExitQuarantine
+	}
+	return ExitOK
 }
 
 // Totals sums the headline counters across all shards.
@@ -347,6 +380,9 @@ func aggregate(results []ShardResult, elapsed time.Duration, workers int) *Repor
 		s := &results[i]
 		rep.Metrics.Merge(s.Obs)
 		mergeCoverage(rep.Cov, s.Cov)
+		if s.Quarantined {
+			rep.Quarantines++
+		}
 		for code, n := range s.ByCode {
 			rep.ByCode[code] += n
 		}

@@ -9,6 +9,7 @@ import (
 	"crossingguard/internal/accel"
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/config"
+	"crossingguard/internal/faults"
 	"crossingguard/internal/fuzz"
 	"crossingguard/internal/hostproto/hammer"
 	"crossingguard/internal/hostproto/mesi"
@@ -30,9 +31,15 @@ const (
 	// fuzz test (E4): an Attacker bombards the guard while the CPUs run
 	// the random workload.
 	KindFuzz
+	// KindChaos is one (config, adversary model, fault plan, seed) cell
+	// of the chaos campaign: a Byzantine accelerator model behind a
+	// deterministically faulty fabric, against a guard armed with recall
+	// retries and quarantine. The assertion is graceful degradation: the
+	// host never hangs, crashes, or reads corrupted data.
+	KindChaos
 )
 
-var kindNames = [...]string{KindStress: "stress", KindFuzz: "fuzz"}
+var kindNames = [...]string{KindStress: "stress", KindFuzz: "fuzz", KindChaos: "chaos"}
 
 // String returns the spec-string form of the kind ("stress" or "fuzz").
 func (k Kind) String() string { return kindNames[k] }
@@ -70,6 +77,14 @@ type ShardSpec struct {
 	// "buggy accelerator under stress" demonstration.
 	CheckValues bool
 
+	// Model names the adversarial accelerator for chaos shards (one of
+	// accel.AllAdvModels' spec names).
+	Model string
+	// Faults is the deterministic fabric fault plan for chaos shards
+	// (zero value = clean fabric); embedded in repro strings so failure
+	// artifacts replay the exact fault schedule.
+	Faults faults.Plan
+
 	// Custom, when set, replaces the machine entirely: the shard runs
 	// tester.Run on whatever system it returns. Used by tests to bound
 	// the runner's failure paths (deadlock injection); not expressible
@@ -82,6 +97,9 @@ func (s ShardSpec) Name() string {
 	if s.Custom != nil {
 		return "custom"
 	}
+	if s.Kind == KindChaos {
+		return fmt.Sprintf("%v/%v/%s", s.Host, s.Org, s.Model)
+	}
 	return fmt.Sprintf("%v/%v", s.Host, s.Org)
 }
 
@@ -89,12 +107,16 @@ func (s ShardSpec) Name() string {
 type ShardResult struct {
 	Spec       ShardSpec
 	Res        tester.Result
-	Sent       uint64 // fuzz: attack messages injected
+	Sent       uint64 // fuzz/chaos: attack messages injected
+	Injected   uint64 // chaos: fabric faults injected
 	Violations uint64 // protocol violations detected and classified
-	ByCode     map[string]uint64
-	Cov        map[string]*coherence.Coverage
-	Err        error
-	TraceDump  string
+	// Quarantined reports that a guard fenced its accelerator (chaos
+	// shards; graceful degradation, not a failure).
+	Quarantined bool
+	ByCode      map[string]uint64
+	Cov         map[string]*coherence.Coverage
+	Err         error
+	TraceDump   string
 	// Obs is the shard machine's metrics registry (nil for custom
 	// shards); the aggregator merges shard registries in index order.
 	Obs *obs.Registry
@@ -142,6 +164,8 @@ func RunShard(spec ShardSpec, trace bool) ShardResult {
 		runStressShard(&res, trace)
 	case KindFuzz:
 		runFuzzShard(&res, trace)
+	case KindChaos:
+		runChaosShard(&res, trace)
 	default:
 		res.Err = fmt.Errorf("campaign: unknown shard kind %d", spec.Kind)
 	}
@@ -227,6 +251,74 @@ func runFuzzShard(res *ShardResult, trace bool) {
 	}
 }
 
+// runChaosShard is one cell of the chaos campaign: a Byzantine
+// accelerator (spec.Model) behind a deterministically faulty fabric
+// (spec.Faults), against a guard configured for graceful degradation
+// (short 2c deadline, bounded Invalidate retries, quarantine). Host-side
+// health is asserted exactly like fuzz shards; confined shards (deny-all
+// permissions) additionally keep load-value verification on, proving the
+// host never reads corrupted data.
+func runChaosShard(res *ShardResult, trace bool) {
+	spec := res.Spec
+	model, err := accel.ParseAdvModel(spec.Model)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	const base = mem.Addr(0x10000)
+	var perms *perm.Table
+	if spec.Confined {
+		perms = perm.NewTable() // deny everything: the adversary owns no pages
+	}
+	plan := spec.Faults
+	var adv *accel.Adversary
+	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
+		CPUs: spec.CPUs, AccelCores: 1, Seed: spec.Seed * 41, Small: true,
+		Timeout: 2000, RecallRetries: 2, QuarantineAfter: 25,
+		Perms: perms, Faults: &plan,
+		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
+			adv = accel.NewAdversary(accelID, xgID, s.Eng, s.Fab, accel.AdvConfig{
+				Model: model, Seed: spec.Seed * 43, Pool: fuzzPool(base),
+				Budget: spec.Messages, Gap: 20, Deadline: 2000,
+			})
+			return adv.Outstanding
+		}})
+	var ring *obs.Ring
+	if trace {
+		ring = obs.NewRing(4000)
+		sys.Fab.Bus = obs.NewBus(ring)
+	}
+	cfg := tester.DefaultConfig(spec.Seed * 47)
+	cfg.StoresPerLoc = 25
+	cfg.BaseAddr = base
+	cfg.Deadline = 200_000_000
+	cfg.SkipValueChecks = !spec.Confined
+	res.Res, res.Err = tester.Run(hostView{sys}, cfg)
+	res.Obs = sys.Obs
+	res.Sent = adv.Sent
+	if sys.Faults != nil {
+		res.Injected = sys.Faults.Injected
+	}
+	for _, g := range sys.Guards {
+		if g.Quarantined {
+			res.Quarantined = true
+		}
+	}
+	res.Violations = uint64(sys.Log.Count())
+	for code, n := range sys.Log.ByCode {
+		res.ByCode[code] += n
+	}
+	if res.Err == nil {
+		recordCoverage(sys, res.Cov)
+	}
+	if ring != nil {
+		res.Events = ring.Events()
+		if res.Err != nil {
+			res.TraceDump = ring.Dump()
+		}
+	}
+}
+
 // recordCoverage folds every controller's coverage into the per-class
 // map, exactly the accounting xgstress has always reported.
 func recordCoverage(sys *config.System, covs map[string]*coherence.Coverage) {
@@ -293,6 +385,12 @@ func FormatSpec(s ShardSpec) string {
 		if s.CheckValues {
 			parts = append(parts, "checked=1")
 		}
+	case KindChaos:
+		parts = append(parts, "model="+s.Model, "messages="+strconv.Itoa(s.Messages),
+			"faults="+s.Faults.Spec())
+		if s.Confined {
+			parts = append(parts, "confined=1")
+		}
 	}
 	return strings.Join(parts, " ")
 }
@@ -326,6 +424,8 @@ func ParseSpec(text string) (ShardSpec, error) {
 				spec.Kind = KindStress
 			case "fuzz":
 				spec.Kind = KindFuzz
+			case "chaos":
+				spec.Kind = KindChaos
 			default:
 				return spec, fmt.Errorf("campaign: unknown kind %q", v)
 			}
@@ -369,12 +469,26 @@ func ParseSpec(text string) (ShardSpec, error) {
 			spec.Confined = v == "1" || v == "true"
 		case "checked":
 			spec.CheckValues = v == "1" || v == "true"
+		case "model":
+			if _, err := accel.ParseAdvModel(v); err != nil {
+				return spec, err
+			}
+			spec.Model = v
+		case "faults":
+			plan, err := faults.ParsePlan(v)
+			if err != nil {
+				return spec, err
+			}
+			spec.Faults = plan
 		default:
 			return spec, fmt.Errorf("campaign: unknown spec field %q", k)
 		}
 	}
 	if !seen["kind"] || !seen["host"] || !seen["org"] || !seen["seed"] {
 		return spec, fmt.Errorf("campaign: spec needs at least kind, host, org, seed (got %q)", text)
+	}
+	if spec.Kind == KindChaos && spec.Model == "" {
+		return spec, fmt.Errorf("campaign: chaos spec needs model= (got %q)", text)
 	}
 	return spec, nil
 }

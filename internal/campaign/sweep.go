@@ -1,6 +1,10 @@
 package campaign
 
-import "crossingguard/internal/config"
+import (
+	"crossingguard/internal/accel"
+	"crossingguard/internal/config"
+	"crossingguard/internal/faults"
+)
 
 // FuzzOrgs is the guard organizations the fuzz campaign sweeps — only
 // organizations with a guard make sense to fuzz.
@@ -31,6 +35,34 @@ func FuzzSweep(seeds, cpus, messages int) []ShardSpec {
 				for seed := int64(1); seed <= int64(seeds); seed++ {
 					specs = append(specs, ShardSpec{Kind: KindFuzz, Host: host, Org: org,
 						Seed: seed, CPUs: cpus, Messages: messages, Confined: confined})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// ChaosSweep builds the chaos shard set: (host x guard organization x
+// adversary model x fault preset x {shared, confined} x seed). Fault-plan
+// seeds are offset by the shard seed so each cell draws an independent —
+// but replayable — fault schedule.
+func ChaosSweep(seeds, cpus, messages int) []ShardSpec {
+	var specs []ShardSpec
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range FuzzOrgs {
+			for _, model := range accel.AllAdvModels {
+				for _, preset := range faults.Presets {
+					for _, confined := range []bool{false, true} {
+						for seed := int64(1); seed <= int64(seeds); seed++ {
+							plan := preset.Plan
+							if plan.Active() {
+								plan.Seed += seed
+							}
+							specs = append(specs, ShardSpec{Kind: KindChaos, Host: host, Org: org,
+								Seed: seed, CPUs: cpus, Messages: messages,
+								Model: model.String(), Faults: plan, Confined: confined})
+						}
+					}
 				}
 			}
 		}

@@ -46,6 +46,10 @@ const (
 	AInvAck
 	ACleanWB // carries data
 	ADirtyWB // carries data
+	// XG -> accelerator quarantine extension (not part of the paper's
+	// §2.1 vocabulary): service refused to a fenced accelerator. Only a
+	// quarantined — hence already misbehaving — accelerator ever sees it.
+	ANack
 
 	// --- Hammer-like exclusive MOESI host protocol ---
 	// cache -> directory
@@ -120,6 +124,7 @@ var msgTypeNames = [...]string{
 	AGetS: "A:GetS", AGetM: "A:GetM", APutM: "A:PutM", APutE: "A:PutE", APutS: "A:PutS",
 	ADataS: "A:DataS", ADataE: "A:DataE", ADataM: "A:DataM", AWBAck: "A:WBAck",
 	AInv: "A:Inv", AInvAck: "A:InvAck", ACleanWB: "A:CleanWB", ADirtyWB: "A:DirtyWB",
+	ANack: "A:Nack",
 
 	HGetS: "H:GetS", HGetSOnly: "H:GetSOnly", HGetM: "H:GetM", HPut: "H:Put",
 	HWBData: "H:WBData", HUnblock: "H:Unblock",

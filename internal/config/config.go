@@ -12,6 +12,7 @@ import (
 	"crossingguard/internal/accel"
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/core"
+	"crossingguard/internal/faults"
 	"crossingguard/internal/hostproto/hammer"
 	"crossingguard/internal/hostproto/mesi"
 	"crossingguard/internal/mem"
@@ -128,6 +129,16 @@ type Spec struct {
 	Rate *core.RateLimit
 	// DisableAfter sets the guard's error policy.
 	DisableAfter int
+	// RecallRetries sets the guard's Invalidate retry budget (0 = the
+	// paper's single-shot 2c watchdog).
+	RecallRetries int
+	// QuarantineAfter sets the guard's quarantine threshold (0 = never
+	// fence the accelerator).
+	QuarantineAfter int
+	// Faults, when set and active, installs a deterministic fault
+	// injector on the fabric watching every guard<->accelerator channel
+	// (chaos testing). Non-XG organizations ignore it.
+	Faults *faults.Plan
 	// Lat overrides the latency model (zero value = defaults).
 	Lat *Latencies
 	// AccelL1KB overrides the accelerator L1 capacity (0 = default
@@ -172,6 +183,10 @@ type System struct {
 	CPUSeqs   []*seq.Sequencer
 	AccelSeqs []*seq.Sequencer
 	Guards    []*core.Guard
+
+	// Faults is the fault injector installed by Spec.Faults (nil when the
+	// machine runs clean); callers read its per-kind injection counts.
+	Faults *faults.Injector
 
 	// Host protocol handles (one set is nil).
 	HDir    *hammer.Directory
@@ -228,6 +243,15 @@ func Build(spec Spec) *System {
 	case HostMESI:
 		s.buildMESI(spec, lat, txnMods)
 	}
+	if spec.Faults != nil && spec.Faults.Active() && len(s.Guards) > 0 {
+		inj := faults.NewInjector(*spec.Faults, fab)
+		inj.AttachObs(reg)
+		for _, g := range s.Guards {
+			inj.Watch(g.ID(), g.AccelID())
+		}
+		fab.SetInterceptor(inj)
+		s.Faults = inj
+	}
 	return s
 }
 
@@ -266,12 +290,14 @@ func (s *System) accelCfg(small bool) accel.Config {
 
 func (s *System) guardCfg(spec Spec, lat Latencies) core.Config {
 	return core.Config{
-		Mode:         spec.Org.Mode(),
-		Perms:        spec.Perms,
-		Timeout:      spec.Timeout,
-		GuardLat:     lat.GuardLat,
-		Rate:         spec.Rate,
-		DisableAfter: spec.DisableAfter,
+		Mode:            spec.Org.Mode(),
+		Perms:           spec.Perms,
+		Timeout:         spec.Timeout,
+		GuardLat:        lat.GuardLat,
+		Rate:            spec.Rate,
+		DisableAfter:    spec.DisableAfter,
+		RecallRetries:   spec.RecallRetries,
+		QuarantineAfter: spec.QuarantineAfter,
 	}
 }
 

@@ -98,6 +98,19 @@ type Config struct {
 	// violations (0 = never disable); disabled accelerators have their
 	// requests dropped while the guard keeps answering the host.
 	DisableAfter int
+	// RecallRetries re-sends Invalidate up to this many times when a
+	// recall deadline expires, doubling the deadline each attempt, before
+	// the 2c watchdog answers on the accelerator's behalf. 0 keeps the
+	// paper's single-shot timeout. Retries tolerate a lossy link to an
+	// otherwise correct accelerator (the ECI-style fault model).
+	RecallRetries int
+	// QuarantineAfter fences the accelerator after this many guarantee
+	// violations (0 = never): open recalls resolve from trusted state,
+	// the Full State table's lines are reclaimed by the guard, further
+	// requests are nacked, and the host keeps running on trusted copies.
+	// Unlike DisableAfter's silent drop, quarantine keeps answering so a
+	// confused-but-live accelerator observes its fencing.
+	QuarantineAfter int
 }
 
 // Guard is one Crossing Guard instance: the trusted boundary between one
@@ -122,7 +135,11 @@ type Guard struct {
 
 	// Disabled is set once the error policy shuts the accelerator out.
 	Disabled bool
-	errors   int
+	// Quarantined is set once the quarantine policy fences the
+	// accelerator (graceful degradation: the host keeps running on
+	// trusted state, the accelerator is nacked).
+	Quarantined bool
+	errors      int
 
 	// Statistics.
 	PutSSuppressed  uint64 // PutS not forwarded (host evicts S silently)
@@ -130,6 +147,7 @@ type Guard struct {
 	SnoopsFiltered  uint64 // host requests answered without consulting the accelerator
 	SnoopsForwarded uint64
 	Timeouts        uint64
+	RetriesSent     uint64 // Invalidates re-sent after a recall deadline expired
 	RateDelayed     uint64
 	ReqsBlocked     uint64 // requests dropped by guarantee enforcement
 
@@ -155,8 +173,13 @@ type hostTxn struct {
 	expect   Grant // what the guard believes the accelerator holds (Full State)
 	known    bool  // expect is authoritative
 	done     func(data *mem.Block, dirty bool, viaPut bool)
-	timer    func() // cancel for the 2c watchdog
-	closed   bool
+	// gen numbers watchdog armings; a scheduled 2c timer only acts if the
+	// generation it captured is still current (and the txn still open and
+	// still the one registered for its address), so a canceled or
+	// superseded watchdog can never fire against a completed or later
+	// transaction.
+	gen    uint64
+	closed bool
 }
 
 // NewGuard builds the guard core; a shim must be attached with
@@ -192,6 +215,10 @@ func (g *Guard) AttachObs(r *obs.Registry) {
 
 // ID implements coherence.Controller.
 func (g *Guard) ID() coherence.NodeID { return g.id }
+
+// AccelID reports the accelerator node this guard fronts (fault-injection
+// wiring selects the guard<->accelerator channels with it).
+func (g *Guard) AccelID() coherence.NodeID { return g.accel }
 
 // Name implements coherence.Controller.
 func (g *Guard) Name() string { return g.name }
@@ -254,11 +281,83 @@ func (g *Guard) violation(code, detail string, addr mem.Addr) {
 			Detail: fmt.Sprintf("accelerator disabled after %d violations", g.errors),
 		})
 	}
+	if g.cfg.QuarantineAfter > 0 && g.errors >= g.cfg.QuarantineAfter && !g.Quarantined {
+		g.enterQuarantine(addr)
+	}
+}
+
+// enterQuarantine fences the accelerator (graceful degradation): every
+// open recall is resolved immediately from trusted state, the Full State
+// table's lines become guard-held trusted copies for answering future
+// host forwards, and subsequent accelerator requests are nacked. The host
+// never waits on a quarantined accelerator again.
+func (g *Guard) enterQuarantine(addr mem.Addr) {
+	g.Quarantined = true
+	g.obsReg.Counter("guard.quarantine.entered").Inc()
+	if g.table != nil {
+		g.obsReg.Counter("guard.quarantine.fenced_lines").Add(uint64(g.table.entries()))
+	}
+	if b := g.fab.Bus; b != nil {
+		b.Emit(obs.Event{
+			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindQuarantine,
+			Addr: addr, Payload: fmt.Sprintf("accelerator quarantined after %d violations", g.errors),
+		})
+	}
+	g.sink.ReportError(coherence.ProtocolError{
+		Where: g.name, Code: "XG.Quarantined", Addr: addr,
+		Detail: fmt.Sprintf("accelerator quarantined after %d violations", g.errors),
+	})
+	// Resolve open recalls in address order (map iteration is randomized;
+	// resolution order must be deterministic). Mirrors recallTimeout's
+	// trusted-state answer without charging additional timeouts.
+	open := make([]mem.Addr, 0, len(g.hosts))
+	for a := range g.hosts {
+		open = append(open, a)
+	}
+	for i := 1; i < len(open); i++ {
+		for j := i; j > 0 && open[j] < open[j-1]; j-- {
+			open[j], open[j-1] = open[j-1], open[j]
+		}
+	}
+	for _, a := range open {
+		ht := g.hosts[a]
+		g.obsReg.Counter("guard.quarantine.recalls").Inc()
+		g.closeRecall(a, ht)
+		g.answerFromTrusted(a, ht)
+		if g.table != nil {
+			g.table.drop(a)
+		}
+	}
+}
+
+// answerFromTrusted completes a recall on the accelerator's behalf using
+// the guard's trusted copy when Full State kept one, or a zero block
+// otherwise (the Guarantee 2c substitution).
+func (g *Guard) answerFromTrusted(addr mem.Addr, ht *hostTxn) {
+	if !ht.wantData {
+		ht.done(nil, false, false)
+		return
+	}
+	if _, e := g.accelHolds(addr); e != nil && e.copy != nil {
+		ht.done(e.copy.Copy(), e.dirty, false)
+		return
+	}
+	ht.done(mem.Zero(), true, false)
 }
 
 // --- accelerator requests (GetS, GetM, PutM, PutE, PutS) ---
 
 func (g *Guard) handleAccelRequest(m *coherence.Msg) {
+	if g.Quarantined {
+		// Fenced accelerator: refuse service explicitly. Nack rather than
+		// silently drop so a confused-but-live accelerator's transactions
+		// terminate instead of hanging its internal state machine.
+		g.ReqsBlocked++
+		g.obsReg.Counter("guard.quarantine.nacks").Inc()
+		addr := m.Addr.Line()
+		g.after(func() { g.sendToAccel(coherence.ANack, addr, nil, false) })
+		return
+	}
 	if g.Disabled {
 		g.ReqsBlocked++
 		return
@@ -421,6 +520,19 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 	if data == nil {
 		data = mem.Zero()
 	}
+	if g.Quarantined {
+		// The grant raced the quarantine: the host has handed the line
+		// over, but the accelerator must not see it. The guard claims the
+		// line itself. A trusted copy is kept only for exclusive grants,
+		// where the guard is the host-side owner and must supply data on
+		// later forwards; for a shared grant another host cache may own
+		// the line, and a sharer volunteering data would hand the
+		// requestor two data responses.
+		if g.table != nil {
+			g.table.grant(addr, level, level, level != GrantS, data, dirty)
+		}
+		return
+	}
 	// Guarantee 0b: an exclusive grant for a read-only page must be
 	// degraded; the guard keeps the trusted copy so it can answer later
 	// host forwards without the accelerator (§2.3.1).
@@ -467,6 +579,12 @@ func (g *Guard) putDone(addr mem.Addr) {
 	delete(g.txns, addr)
 	if g.table != nil {
 		g.table.drop(addr)
+	}
+	if g.Quarantined {
+		// Writeback completed after the fence; the data is safely with the
+		// host, but the fenced accelerator gets no ack (it would be nacked
+		// if it asked again anyway).
+		return
 	}
 	g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
 }

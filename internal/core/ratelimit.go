@@ -31,17 +31,37 @@ func NewRateLimit(burst int, period sim.Time) *RateLimit {
 	return &RateLimit{Capacity: float64(burst), PerTick: 1 / float64(period)}
 }
 
+// maxAdmitWait caps the wait Admit can hand out. Far beyond any
+// simulated horizon, yet safely representable: converting a float beyond
+// the sim.Time range would be implementation-defined.
+const maxAdmitWait = sim.Time(1) << 62
+
 // Admit reserves a token and returns how long the caller must wait
 // before proceeding (0 = immediately). The balance may go negative,
 // which models a queue in front of the guard: every request is
 // eventually served, in order, at the configured rate.
+//
+// The arithmetic is hardened against boundary abuse: a clock that
+// appears to run backwards (possible if a caller mixes engines) never
+// underflows the unsigned tick delta, degenerate configurations
+// (PerTick <= 0, NaN/Inf refills from huge deltas) cannot stall or
+// overflow the wait conversion, and the returned wait is clamped to a
+// representable bound.
 func (r *RateLimit) Admit(now sim.Time) sim.Time {
 	if !r.primed {
 		r.tokens = r.Capacity
 		r.last = now
 		r.primed = true
 	}
-	r.tokens += float64(now-r.last) * r.PerTick
+	if now < r.last {
+		// sim.Time is unsigned; a backwards step must not refill by the
+		// wrapped (astronomically large) delta.
+		now = r.last
+	}
+	refill := float64(now-r.last) * r.PerTick
+	if refill > 0 { // false for NaN or non-positive PerTick
+		r.tokens += refill
+	}
 	if r.tokens > r.Capacity {
 		r.tokens = r.Capacity
 	}
@@ -50,5 +70,11 @@ func (r *RateLimit) Admit(now sim.Time) sim.Time {
 	if r.tokens >= 0 {
 		return 0
 	}
-	return sim.Time(-r.tokens/r.PerTick) + 1
+	wait := -r.tokens / r.PerTick
+	if !(wait >= 0) || wait >= float64(maxAdmitWait) {
+		// NaN/Inf (PerTick <= 0) or beyond-representable waits clamp to
+		// the bound rather than converting out of range.
+		return maxAdmitWait
+	}
+	return sim.Time(wait) + 1
 }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"crossingguard/internal/sim"
+)
+
+// A clock that appears to step backwards (callers mixing engines) must
+// not refill by the wrapped unsigned delta: the limiter treats it as no
+// time passing and keeps queueing finitely.
+func TestRateLimitClockRegression(t *testing.T) {
+	rl := NewRateLimit(1, 10)
+	if w := rl.Admit(100); w != 0 {
+		t.Fatalf("first admit delayed by %d", w)
+	}
+	w := rl.Admit(50) // backwards step
+	if w == 0 {
+		t.Fatal("backwards clock refilled the bucket for free")
+	}
+	if w > 100 {
+		t.Fatalf("backwards clock produced wait %d, want ~one period", w)
+	}
+	// Time resuming forward refills normally from the high-water mark.
+	if w := rl.Admit(100 + 20); w != 0 {
+		t.Fatalf("post-regression admit delayed by %d", w)
+	}
+}
+
+// A huge tick delta (e.g. a limiter idle for most of the simulated
+// horizon) clamps the refill at capacity instead of overflowing.
+func TestRateLimitHugeDeltaClampsToCapacity(t *testing.T) {
+	rl := NewRateLimit(2, 1)
+	rl.Admit(0)
+	if w := rl.Admit(sim.Time(1) << 62); w != 0 {
+		t.Fatalf("admit after huge idle delayed by %d", w)
+	}
+	if rl.tokens > rl.Capacity {
+		t.Fatalf("tokens %v exceed capacity %v", rl.tokens, rl.Capacity)
+	}
+}
+
+// Degenerate refill rates (zero or NaN, only reachable by poking the
+// fields directly) must not stall with a bogus wait or convert an
+// Inf/NaN to sim.Time: the wait clamps to maxAdmitWait.
+func TestRateLimitDegeneratePerTickClamps(t *testing.T) {
+	for _, perTick := range []float64{0, math.NaN(), -0.5} {
+		rl := &RateLimit{Capacity: 1, PerTick: perTick}
+		if w := rl.Admit(0); w != 0 {
+			t.Fatalf("PerTick=%v: burst admit delayed by %d", perTick, w)
+		}
+		if w := rl.Admit(0); w != maxAdmitWait {
+			t.Fatalf("PerTick=%v: exhausted admit wait = %d, want maxAdmitWait", perTick, w)
+		}
+	}
+}
+
+// A queue deep enough that the computed wait exceeds the representable
+// bound clamps instead of converting out of range; waits stay monotone
+// on the way there.
+func TestRateLimitDeepQueueMonotoneAndBounded(t *testing.T) {
+	rl := NewRateLimit(1, sim.Time(1)<<55)
+	var last sim.Time
+	clamped := false
+	for i := 0; i < 300; i++ {
+		w := rl.Admit(0)
+		if w < last && w != maxAdmitWait {
+			t.Fatalf("request %d wait %d < predecessor %d", i, w, last)
+		}
+		if w > maxAdmitWait {
+			t.Fatalf("request %d wait %d exceeds maxAdmitWait", i, w)
+		}
+		if w == maxAdmitWait {
+			clamped = true
+		}
+		last = w
+	}
+	if !clamped {
+		t.Fatal("300 queued requests at 2^55 ticks each never hit the clamp")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/mem"
 	"crossingguard/internal/obs"
+	"crossingguard/internal/sim"
 )
 
 // viewState is the guard's knowledge of the accelerator's copy of a block.
@@ -67,6 +68,18 @@ func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem
 	if _, open := g.hosts[addr]; open {
 		panic(fmt.Sprintf("%s: second concurrent recall for %v (host protocol bug)", g.name, addr))
 	}
+	// Quarantined accelerators are never consulted: the guard answers the
+	// host immediately from trusted state (Full State copy, or zero data)
+	// without sending an Invalidate or arming a watchdog.
+	if g.Quarantined {
+		g.obsReg.Counter("guard.quarantine.recalls").Inc()
+		ht := &hostTxn{wantData: expect.owned() || expect == viewUnknown, done: done, closed: true}
+		g.answerFromTrusted(addr, ht)
+		if g.table != nil {
+			g.table.drop(addr)
+		}
+		return
+	}
 	// A Put already buffered at the guard resolves the recall at once.
 	if t := g.openPut(addr); t != nil {
 		data, dirty := t.data, t.dirty
@@ -95,16 +108,40 @@ func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem
 	g.SnoopsForwarded++
 	g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false) })
 	if g.cfg.Timeout > 0 {
-		timeout := g.cfg.Timeout
-		canceled := false
-		ht.timer = func() { canceled = true }
-		g.eng.Schedule(timeout, func() {
-			if canceled || ht.closed {
-				return
-			}
-			g.recallTimeout(addr, ht)
-		})
+		g.armRecallWatchdog(addr, ht, g.cfg.Timeout, 0)
 	}
+}
+
+// armRecallWatchdog schedules the Guarantee 2c deadline for one recall.
+// The timer acts only if the transaction it armed is still open, still
+// registered for its address, and has not been re-armed since (generation
+// check) — closing or superseding the recall makes the pending timer
+// inert. On expiry with retries remaining the guard re-sends Invalidate
+// and doubles the deadline; once retries are exhausted the 2c timeout
+// answers on the accelerator's behalf.
+func (g *Guard) armRecallWatchdog(addr mem.Addr, ht *hostTxn, deadline sim.Time, attempt int) {
+	ht.gen++
+	gen := ht.gen
+	g.eng.Schedule(deadline, func() {
+		if ht.closed || ht.gen != gen || g.hosts[addr] != ht {
+			return
+		}
+		if attempt < g.cfg.RecallRetries {
+			g.RetriesSent++
+			g.obsReg.Counter("guard.recall.retry").Inc()
+			if b := g.fab.Bus; b != nil {
+				b.Emit(obs.Event{
+					Tick: g.eng.Now(), Component: g.name, Kind: obs.KindRetry,
+					Addr: addr, Msg: coherence.AInv, To: g.accel,
+					Payload: fmt.Sprintf("recall retry %d/%d", attempt+1, g.cfg.RecallRetries),
+				})
+			}
+			g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false) })
+			g.armRecallWatchdog(addr, ht, deadline*2, attempt+1)
+			return
+		}
+		g.recallTimeout(addr, ht)
+	})
 }
 
 // recallTimeout enforces Guarantee 2c: if the accelerator does not answer
@@ -119,18 +156,15 @@ func (g *Guard) recallTimeout(addr mem.Addr, ht *hostTxn) {
 		})
 	}
 	g.violation("XG.G2c", "accelerator did not answer Invalidate within the timeout", addr)
-	g.closeRecall(addr, ht)
-	if ht.wantData {
-		// Prefer the trusted copy when Full State kept one; otherwise a
-		// zero block keeps the host protocol moving.
-		if _, e := g.accelHolds(addr); e != nil && e.copy != nil {
-			ht.done(e.copy.Copy(), e.dirty, false)
-		} else {
-			ht.done(mem.Zero(), true, false)
-		}
-	} else {
-		ht.done(nil, false, false)
+	// The violation may have tripped quarantine, which resolves every open
+	// recall — this one included — before returning.
+	if ht.closed {
+		return
 	}
+	g.closeRecall(addr, ht)
+	// Prefer the trusted copy when Full State kept one; otherwise a zero
+	// block keeps the host protocol moving.
+	g.answerFromTrusted(addr, ht)
 	if g.table != nil {
 		g.table.drop(addr)
 	}
@@ -181,9 +215,7 @@ func (g *Guard) resolveRecallByPut(addr mem.Addr, ht *hostTxn, m *coherence.Msg)
 
 func (g *Guard) closeRecall(addr mem.Addr, ht *hostTxn) {
 	ht.closed = true
-	if ht.timer != nil {
-		ht.timer()
-	}
+	ht.gen++ // invalidate any armed watchdog generation
 	delete(g.hosts, addr)
 }
 
@@ -191,6 +223,13 @@ func (g *Guard) closeRecall(addr mem.Addr, ht *hostTxn) {
 // response types (InvAck, CleanWB, DirtyWB).
 func (g *Guard) handleAccelResponse(m *coherence.Msg) {
 	addr := m.Addr.Line()
+	if g.Quarantined {
+		// A fenced accelerator has no pending host requests by
+		// construction (quarantine resolved them all); swallow late
+		// responses without the per-message G2b violation spam.
+		g.obsReg.Counter("guard.quarantine.dropped").Inc()
+		return
+	}
 	if m.Type == coherence.AInvAck && g.ignoreInvAck[addr] > 0 {
 		// The InvAck a correct accelerator sends from B after the
 		// Put/Inv race; already resolved.

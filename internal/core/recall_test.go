@@ -1,0 +1,304 @@
+package core
+
+import (
+	"testing"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/sim"
+)
+
+// newRecallRig is newCoreRig with a caller-supplied guard config (the
+// watchdog and quarantine tests need retries/quarantine thresholds the
+// default rig leaves off).
+func newRecallRig(mode Mode, cfg Config) *coreRig {
+	eng := sim.NewEngine()
+	fab := network.NewFabric(eng, 1, network.Config{Latency: 1, Ordered: true})
+	log := coherence.NewErrorLog()
+	accel := &accelSink{id: 200}
+	fab.Register(accel)
+	cfg.Mode = mode
+	g := newGuard(40, "xg", eng, fab, 200, cfg, log)
+	shim := &stubShim{g: g}
+	g.shim = shim
+	return &coreRig{eng, fab, g, shim, accel, log}
+}
+
+func countToAccel(r *coreRig, ty coherence.MsgType) int {
+	n := 0
+	for _, m := range r.accel.got {
+		if m.Type == ty {
+			n++
+		}
+	}
+	return n
+}
+
+// Regression for the watchdog-cancellation hazard: a recall answered well
+// before its deadline leaves a timer in the engine queue; when that timer
+// eventually runs it must be inert — no spurious Timeouts, no second done
+// callback, no G2c violation.
+func TestRecallWatchdogCanceledNeverFires(t *testing.T) {
+	r := newRecallRig(Transactional, Config{Timeout: 1000, GuardLat: 1})
+	calls := 0
+	r.g.startRecall(0x40, viewM, func(data *mem.Block, dirty bool, viaPut bool) { calls++ })
+	r.eng.RunUntil(10) // deliver the Invalidate; the watchdog waits at t=1000
+	r.g.Recv(&coherence.Msg{Type: coherence.ADirtyWB, Addr: 0x40, Src: 200, Dst: 40,
+		Data: mem.Zero(), Dirty: true})
+	if calls != 1 {
+		t.Fatalf("done called %d times after response, want 1", calls)
+	}
+	r.eng.RunUntilQuiet() // runs the stale timer past t=1000
+	if calls != 1 {
+		t.Fatalf("stale watchdog re-invoked done (calls=%d)", calls)
+	}
+	if r.g.Timeouts != 0 {
+		t.Fatalf("Timeouts = %d after canceled watchdog, want 0", r.g.Timeouts)
+	}
+	if r.g.Errors() != 0 {
+		t.Fatalf("violations = %d, want 0", r.g.Errors())
+	}
+}
+
+// A stale timer from a closed recall must not fire against a LATER recall
+// of the same address (the hosts[addr] identity / generation check).
+func TestRecallWatchdogStaleTimerIgnoresReusedAddress(t *testing.T) {
+	r := newRecallRig(Transactional, Config{Timeout: 1000, GuardLat: 1})
+	calls := 0
+	done := func(data *mem.Block, dirty bool, viaPut bool) { calls++ }
+	r.g.startRecall(0x40, viewS, done)
+	r.eng.RunUntil(5)
+	r.g.Recv(&coherence.Msg{Type: coherence.AInvAck, Addr: 0x40, Src: 200, Dst: 40})
+	// Second recall for the same line while the first timer (t=1000) is
+	// still queued; its own timer lands at t=1005.
+	r.g.startRecall(0x40, viewS, done)
+	r.eng.RunUntil(500)
+	r.g.Recv(&coherence.Msg{Type: coherence.AInvAck, Addr: 0x40, Src: 200, Dst: 40})
+	r.eng.RunUntilQuiet()
+	if calls != 2 {
+		t.Fatalf("done calls = %d, want 2", calls)
+	}
+	if r.g.Timeouts != 0 || r.g.Errors() != 0 {
+		t.Fatalf("stale timer charged the later recall: Timeouts=%d errors=%d",
+			r.g.Timeouts, r.g.Errors())
+	}
+	if len(r.g.hosts) != 0 {
+		t.Fatalf("%d host transactions left open", len(r.g.hosts))
+	}
+}
+
+// An expired deadline with retries configured re-sends Invalidate instead
+// of declaring a 2c timeout; an answer to the retry completes the recall
+// with no timeout and no violation.
+func TestRecallRetryThenSuccess(t *testing.T) {
+	r := newRecallRig(Transactional, Config{Timeout: 100, GuardLat: 1, RecallRetries: 2})
+	calls := 0
+	r.g.startRecall(0x40, viewS, func(data *mem.Block, dirty bool, viaPut bool) { calls++ })
+	r.eng.RunUntil(150) // first deadline (t=100) expires: one retry goes out
+	if r.g.RetriesSent != 1 {
+		t.Fatalf("RetriesSent = %d after first deadline, want 1", r.g.RetriesSent)
+	}
+	if got := countToAccel(r, coherence.AInv); got != 2 {
+		t.Fatalf("accel saw %d Invalidates, want 2 (original + retry)", got)
+	}
+	r.g.Recv(&coherence.Msg{Type: coherence.AInvAck, Addr: 0x40, Src: 200, Dst: 40})
+	r.eng.RunUntilQuiet() // doubled deadline (t=300) must be inert
+	if calls != 1 {
+		t.Fatalf("done calls = %d, want 1", calls)
+	}
+	if r.g.Timeouts != 0 || r.g.Errors() != 0 {
+		t.Fatalf("successful retry still charged: Timeouts=%d errors=%d",
+			r.g.Timeouts, r.g.Errors())
+	}
+}
+
+// Exhausted retries fall back to the single Guarantee 2c timeout: exactly
+// one Timeout, one violation, one done callback, however many timers were
+// armed along the way.
+func TestRecallRetriesExhaustedSingleTimeout(t *testing.T) {
+	r := newRecallRig(Transactional, Config{Timeout: 100, GuardLat: 1, RecallRetries: 2})
+	calls := 0
+	var gotData *mem.Block
+	r.g.startRecall(0x40, viewM, func(data *mem.Block, dirty bool, viaPut bool) {
+		calls++
+		gotData = data
+	})
+	r.eng.RunUntilQuiet() // deadlines at 100, 300, 700; nobody answers
+	if r.g.RetriesSent != 2 {
+		t.Fatalf("RetriesSent = %d, want 2", r.g.RetriesSent)
+	}
+	if got := countToAccel(r, coherence.AInv); got != 3 {
+		t.Fatalf("accel saw %d Invalidates, want 3", got)
+	}
+	if r.g.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want exactly 1", r.g.Timeouts)
+	}
+	if r.g.Errors() != 1 {
+		t.Fatalf("violations = %d, want 1 (the G2c)", r.g.Errors())
+	}
+	if calls != 1 || gotData == nil {
+		t.Fatalf("done calls=%d data=%v, want one zero-block answer", calls, gotData)
+	}
+	if len(r.g.hosts) != 0 {
+		t.Fatal("timed-out recall left open")
+	}
+}
+
+// quarantineRig trips the guard into quarantine via repeated Guarantee 1a
+// violations (Puts for blocks never granted).
+func tripQuarantine(t *testing.T, r *coreRig, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r.fromAccel(coherence.APutM, mem.Addr(0x2000+i*mem.BlockBytes), mem.Zero())
+	}
+	if !r.g.Quarantined {
+		t.Fatalf("guard not quarantined after %d violations", n)
+	}
+}
+
+func TestQuarantineNacksFurtherRequests(t *testing.T) {
+	r := newRecallRig(FullState, Config{Timeout: 1000, GuardLat: 1, QuarantineAfter: 2})
+	tripQuarantine(t, r, 2)
+	blocked := r.g.ReqsBlocked
+	r.fromAccel(coherence.AGetS, 0x40, nil)
+	if m := r.lastToAccel(); m == nil || m.Type != coherence.ANack {
+		t.Fatalf("quarantined request answered with %v, want ANack", m)
+	}
+	if r.g.ReqsBlocked != blocked+1 {
+		t.Fatalf("ReqsBlocked = %d, want %d", r.g.ReqsBlocked, blocked+1)
+	}
+	if len(r.shim.gets) != 0 {
+		t.Fatal("quarantined Get still reached the host shim")
+	}
+}
+
+// A recall against a quarantined accelerator is answered immediately from
+// trusted state: no Invalidate on the wire, no watchdog, no timeout.
+func TestQuarantineRecallServedFromTrustedState(t *testing.T) {
+	r := newRecallRig(FullState, Config{Timeout: 1000, GuardLat: 1, QuarantineAfter: 2})
+	tripQuarantine(t, r, 2)
+	sent := len(r.accel.got)
+	calls := 0
+	var gotData *mem.Block
+	r.g.startRecall(0x40, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) {
+		calls++
+		gotData = data
+	})
+	if calls != 1 || gotData == nil {
+		t.Fatalf("recall not answered synchronously (calls=%d data=%v)", calls, gotData)
+	}
+	r.eng.RunUntilQuiet()
+	if got := countToAccel(r, coherence.AInv); got != 0 {
+		t.Fatalf("quarantined recall sent %d Invalidates, want 0", got)
+	}
+	if len(r.accel.got) != sent {
+		t.Fatalf("quarantined recall sent %d extra messages", len(r.accel.got)-sent)
+	}
+	if r.g.Timeouts != 0 {
+		t.Fatalf("Timeouts = %d, want 0", r.g.Timeouts)
+	}
+}
+
+// Entering quarantine resolves every open recall, in deterministic
+// (address) order, without charging 2c timeouts; the stale watchdogs for
+// those recalls stay inert.
+func TestQuarantineResolvesOpenRecallsInOrder(t *testing.T) {
+	r := newRecallRig(FullState, Config{Timeout: 100000, GuardLat: 1, QuarantineAfter: 1})
+	var order []mem.Addr
+	done := func(addr mem.Addr) func(*mem.Block, bool, bool) {
+		return func(data *mem.Block, dirty bool, viaPut bool) { order = append(order, addr) }
+	}
+	r.g.startRecall(0x80, viewUnknown, done(0x80))
+	r.g.startRecall(0x40, viewUnknown, done(0x40))
+	r.eng.RunUntil(10)
+	r.fromAccel(coherence.APutM, 0x2000, mem.Zero()) // violation -> quarantine
+	if !r.g.Quarantined {
+		t.Fatal("guard not quarantined")
+	}
+	if len(order) != 2 || order[0] != 0x40 || order[1] != 0x80 {
+		t.Fatalf("recalls resolved in order %v, want [0x40 0x80]", order)
+	}
+	if len(r.g.hosts) != 0 {
+		t.Fatalf("%d recalls left open after quarantine", len(r.g.hosts))
+	}
+	r.eng.RunUntilQuiet()
+	if r.g.Timeouts != 0 {
+		t.Fatalf("quarantine resolution charged %d timeouts", r.g.Timeouts)
+	}
+	if len(order) != 2 {
+		t.Fatalf("stale watchdogs re-resolved recalls: %v", order)
+	}
+}
+
+// A host grant racing the quarantine is claimed by the guard as a trusted
+// copy; the fenced accelerator sees nothing.
+func TestQuarantineGrantRaceKeepsTrustedCopy(t *testing.T) {
+	r := newRecallRig(FullState, Config{Timeout: 1000, GuardLat: 1, QuarantineAfter: 1})
+	r.fromAccel(coherence.AGetS, 0x40, nil) // opens the transaction
+	if len(r.shim.gets) != 1 {
+		t.Fatalf("gets = %d", len(r.shim.gets))
+	}
+	tripQuarantine(t, r, 1)
+	sent := len(r.accel.got)
+	var blk mem.Block
+	blk[3] = 7
+	r.g.granted(0x40, GrantM, &blk, true)
+	r.eng.RunUntilQuiet()
+	if len(r.accel.got) != sent {
+		t.Fatalf("grant under quarantine reached the accelerator: %v", r.lastToAccel())
+	}
+	if r.g.table.entries() != 1 || r.g.table.copies() != 1 {
+		t.Fatalf("trusted copy not kept: entries=%d copies=%d",
+			r.g.table.entries(), r.g.table.copies())
+	}
+	// The trusted copy now answers recalls with the granted data.
+	var gotData *mem.Block
+	r.g.startRecall(0x40, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) { gotData = data })
+	if gotData == nil || gotData[3] != 7 {
+		t.Fatalf("recall answered with %v, want the claimed grant data", gotData)
+	}
+}
+
+// A *shared* host grant racing the quarantine is claimed without a
+// trusted copy: another host cache may own the line, and an S-holding
+// guard volunteering data on a later forward would hand the requestor a
+// second data response (host protocol violation).
+func TestQuarantineGrantRaceSharedKeepsNoCopy(t *testing.T) {
+	r := newRecallRig(FullState, Config{Timeout: 1000, GuardLat: 1, QuarantineAfter: 1})
+	r.fromAccel(coherence.AGetS, 0x40, nil)
+	tripQuarantine(t, r, 1)
+	var blk mem.Block
+	blk[3] = 7
+	r.g.granted(0x40, GrantS, &blk, false)
+	r.eng.RunUntilQuiet()
+	if r.g.table.entries() != 1 || r.g.table.copies() != 0 {
+		t.Fatalf("shared grant claim: entries=%d copies=%d, want 1/0",
+			r.g.table.entries(), r.g.table.copies())
+	}
+	// A later forward recalls the line and must get an ack, never data.
+	called := false
+	r.g.startRecall(0x40, viewS, func(data *mem.Block, dirty bool, viaPut bool) {
+		called = true
+		if data != nil {
+			t.Fatalf("S-held line answered recall with data %v", data)
+		}
+	})
+	if !called {
+		t.Fatal("quarantine recall fast path did not resolve")
+	}
+}
+
+// Late responses from a quarantined accelerator are swallowed without
+// per-message G2b violation spam.
+func TestQuarantineDropsLateResponsesQuietly(t *testing.T) {
+	r := newRecallRig(FullState, Config{Timeout: 1000, GuardLat: 1, QuarantineAfter: 2})
+	tripQuarantine(t, r, 2)
+	errs := r.g.Errors()
+	r.fromAccel(coherence.ADirtyWB, 0x40, mem.Zero())
+	r.fromAccel(coherence.AInvAck, 0x80, nil)
+	if r.g.Errors() != errs {
+		t.Fatalf("late responses under quarantine raised %d violations, want 0",
+			r.g.Errors()-errs)
+	}
+}

@@ -62,6 +62,32 @@ type channel struct {
 	inflight    int // messages sent but not yet delivered on this channel
 }
 
+// Delivery describes one scheduled arrival of an intercepted message. An
+// Interceptor turns a single Send into zero (drop), one, or several
+// deliveries, each possibly perturbed.
+type Delivery struct {
+	// Msg is the message to deliver — the original, or a corrupted copy
+	// (messages are immutable once sent, so corruption must copy).
+	Msg *coherence.Msg
+	// ExtraDelay is added to the channel's configured latency.
+	ExtraDelay sim.Time
+	// Unordered exempts this delivery from the FIFO clamp on ordered
+	// channels, letting it overtake earlier traffic (reorder injection).
+	// An unordered arrival does not advance the channel's FIFO horizon.
+	Unordered bool
+}
+
+// Interceptor perturbs channel traffic for fault injection. Intercept is
+// consulted once per Send, before delivery is scheduled; returning
+// handled=false leaves the message on the normal path. With handled=true
+// the fabric schedules exactly the returned deliveries — an empty slice
+// drops the message. Interceptors must be deterministic (seeded RNG, no
+// wall clock): a fabric with the same interceptor state replays the same
+// schedule.
+type Interceptor interface {
+	Intercept(now sim.Time, m *coherence.Msg) (deliveries []Delivery, handled bool)
+}
+
 // Fabric routes messages between registered controllers.
 type Fabric struct {
 	eng      *sim.Engine
@@ -84,6 +110,10 @@ type Fabric struct {
 	// discarded rather than crashing the host, mirroring how real
 	// hardware ignores mis-routed packets.
 	Dropped uint64
+
+	// interceptor, when non-nil, sees every Send and may drop, duplicate,
+	// delay, corrupt, or reorder it (the fault-injection hook).
+	interceptor Interceptor
 
 	// Metrics instruments (nil-safe no-ops without AttachObs): message
 	// and byte totals, drops, current/peak in-flight messages, and the
@@ -156,8 +186,16 @@ func (f *Fabric) channelFor(k chanKey) *channel {
 	return ch
 }
 
+// SetInterceptor installs (or, with nil, removes) the fault-injection
+// hook. Install before traffic starts; swapping interceptors mid-flight
+// only affects messages not yet sent.
+func (f *Fabric) SetInterceptor(i Interceptor) { f.interceptor = i }
+
 // Send delivers m to m.Dst after the channel's latency. The message must
-// not be mutated after sending.
+// not be mutated after sending. An installed Interceptor may replace the
+// single delivery with any set of perturbed deliveries (or none); channel
+// traffic stats always count the logical send once, while in-flight
+// accounting and recv events track the actual deliveries.
 func (f *Fabric) Send(m *coherence.Msg) {
 	dst, ok := f.nodes[m.Dst]
 	if !ok {
@@ -172,19 +210,37 @@ func (f *Fabric) Send(m *coherence.Msg) {
 	ch.stats.add(m)
 	f.mMsgs.Inc()
 	f.mBytes.Add(uint64(m.Bytes()))
+
+	if f.interceptor != nil {
+		if dels, handled := f.interceptor.Intercept(f.eng.Now(), m); handled {
+			for i := range dels {
+				f.deliver(ch, dst, dels[i])
+			}
+			return
+		}
+	}
+	f.deliver(ch, dst, Delivery{Msg: m})
+}
+
+// deliver schedules one arrival on ch; d carries the (possibly perturbed)
+// message and its fault adjustments.
+func (f *Fabric) deliver(ch *channel, dst coherence.Controller, d Delivery) {
+	m := d.Msg
 	ch.inflight++
 	f.mInflight.Add(1)
 	f.mDepth.Observe(float64(ch.inflight))
 
-	delay := ch.cfg.Latency
+	delay := ch.cfg.Latency + d.ExtraDelay
 	if ch.cfg.Jitter > 0 {
 		delay += sim.Time(f.rng.Int63n(int64(ch.cfg.Jitter) + 1))
 	}
 	arrival := f.eng.Now() + delay
-	if ch.cfg.Ordered && arrival < ch.lastArrival {
-		arrival = ch.lastArrival
+	if ch.cfg.Ordered && !d.Unordered {
+		if arrival < ch.lastArrival {
+			arrival = ch.lastArrival
+		}
+		ch.lastArrival = arrival
 	}
-	ch.lastArrival = arrival
 	if b := f.Bus; b != nil {
 		b.Emit(obs.MsgEvent(f.eng.Now(), obs.KindSend, "net", m))
 	}

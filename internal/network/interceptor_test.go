@@ -1,0 +1,173 @@
+package network
+
+import (
+	"testing"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/obs"
+	"crossingguard/internal/sim"
+)
+
+// scriptIntercept adapts a closure to the Interceptor interface.
+type scriptIntercept func(now sim.Time, m *coherence.Msg) ([]Delivery, bool)
+
+func (f scriptIntercept) Intercept(now sim.Time, m *coherence.Msg) ([]Delivery, bool) {
+	return f(now, m)
+}
+
+// An interceptor that drops everything: the logical send is still counted
+// (channel stats, net.msgs) but nothing is delivered and in-flight
+// accounting never moves.
+func TestInterceptorDropAccounting(t *testing.T) {
+	eng, f, _, b := setup(1, Config{Latency: 1})
+	r := obs.NewRegistry()
+	f.AttachObs(r)
+	f.SetInterceptor(scriptIntercept(func(now sim.Time, m *coherence.Msg) ([]Delivery, bool) {
+		return nil, true
+	}))
+	for i := 0; i < 3; i++ {
+		f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	}
+	eng.RunUntilQuiet()
+	if len(b.got) != 0 {
+		t.Fatalf("dropped messages delivered: %d", len(b.got))
+	}
+	if s := f.StatsFor(1, 2); s.Msgs != 3 {
+		t.Fatalf("channel stats Msgs = %d, want 3 (logical sends)", s.Msgs)
+	}
+	if got := r.Counter("net.msgs").Value(); got != 3 {
+		t.Fatalf("net.msgs = %d, want 3", got)
+	}
+	g := r.Gauge("net.inflight")
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatalf("inflight value=%d max=%d after pure drops, want 0/0", g.Value(), g.Max())
+	}
+}
+
+// An interceptor that duplicates: one logical send, two deliveries — two
+// recv callbacks, doubled in-flight peak, stats still counting once, and
+// the bus seeing send/recv per actual delivery.
+func TestInterceptorDuplicateDelivery(t *testing.T) {
+	eng, f, _, b := setup(1, Config{Latency: 1})
+	r := obs.NewRegistry()
+	f.AttachObs(r)
+	ring := obs.NewRing(16)
+	f.Bus = obs.NewBus(ring)
+	f.SetInterceptor(scriptIntercept(func(now sim.Time, m *coherence.Msg) ([]Delivery, bool) {
+		return []Delivery{{Msg: m}, {Msg: m}}, true
+	}))
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	if g := r.Gauge("net.inflight"); g.Value() != 2 {
+		t.Fatalf("inflight = %d before delivery, want 2", g.Value())
+	}
+	eng.RunUntilQuiet()
+	if len(b.got) != 2 {
+		t.Fatalf("duplicate delivered %d times, want 2", len(b.got))
+	}
+	if s := f.StatsFor(1, 2); s.Msgs != 1 {
+		t.Fatalf("channel stats Msgs = %d, want 1 (one logical send)", s.Msgs)
+	}
+	if got := r.Counter("net.msgs").Value(); got != 1 {
+		t.Fatalf("net.msgs = %d, want 1", got)
+	}
+	g := r.Gauge("net.inflight")
+	if g.Value() != 0 || g.Max() != 2 {
+		t.Fatalf("inflight value=%d max=%d, want 0/2", g.Value(), g.Max())
+	}
+	// Event order: both sends at t=0, then both recvs at t=1.
+	var kinds []obs.Kind
+	for _, e := range ring.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []obs.Kind{obs.KindSend, obs.KindSend, obs.KindRecv, obs.KindRecv}
+	if len(kinds) != len(want) {
+		t.Fatalf("bus saw %d events, want 4: %v", len(kinds), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event order %v, want %v", kinds, want)
+		}
+	}
+}
+
+// ExtraDelay postpones a delivery and — on an ordered channel — drags the
+// FIFO horizon with it, so later ordinary traffic cannot overtake.
+func TestInterceptorExtraDelayHoldsFIFO(t *testing.T) {
+	eng, f, _, b := setup(1, Config{Latency: 10, Ordered: true})
+	first := true
+	f.SetInterceptor(scriptIntercept(func(now sim.Time, m *coherence.Msg) ([]Delivery, bool) {
+		if first {
+			first = false
+			return []Delivery{{Msg: m, ExtraDelay: 50}}, true
+		}
+		return nil, false
+	}))
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2, Acks: 0})
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2, Acks: 1})
+	eng.RunUntilQuiet()
+	if len(b.got) != 2 || b.got[0].Acks != 0 || b.got[1].Acks != 1 {
+		t.Fatalf("ordered channel reordered around a delayed delivery: %+v", b.got)
+	}
+	if b.when[0] != 60 || b.when[1] != 60 {
+		t.Fatalf("arrivals %v, want both clamped to t=60", b.when)
+	}
+}
+
+// An Unordered delivery bypasses the FIFO clamp: it overtakes earlier
+// delayed traffic without advancing the channel's ordering horizon.
+func TestInterceptorUnorderedOvertakes(t *testing.T) {
+	eng, f, _, b := setup(1, Config{Latency: 10, Ordered: true})
+	n := 0
+	f.SetInterceptor(scriptIntercept(func(now sim.Time, m *coherence.Msg) ([]Delivery, bool) {
+		n++
+		switch n {
+		case 1:
+			return []Delivery{{Msg: m, ExtraDelay: 50}}, true
+		case 2:
+			return []Delivery{{Msg: m, Unordered: true}}, true
+		}
+		return nil, false
+	}))
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2, Acks: 0}) // arrives t=60
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2, Acks: 1}) // overtakes at t=10
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2, Acks: 2}) // ordinary: clamps to t=60
+	eng.RunUntilQuiet()
+	if len(b.got) != 3 || b.got[0].Acks != 1 || b.got[1].Acks != 0 || b.got[2].Acks != 2 {
+		t.Fatalf("reorder injection did not overtake: %+v", b.got)
+	}
+	if b.when[0] != 10 || b.when[1] != 60 || b.when[2] != 60 {
+		t.Fatalf("arrivals %v, want [10 60 60]", b.when)
+	}
+}
+
+// handled=false leaves the message on the untouched fast path.
+func TestInterceptorPassThrough(t *testing.T) {
+	eng, f, _, b := setup(1, Config{Latency: 10})
+	calls := 0
+	f.SetInterceptor(scriptIntercept(func(now sim.Time, m *coherence.Msg) ([]Delivery, bool) {
+		calls++
+		return nil, false
+	}))
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 2})
+	eng.RunUntilQuiet()
+	if calls != 1 {
+		t.Fatalf("interceptor consulted %d times, want 1", calls)
+	}
+	if len(b.got) != 1 || b.when[0] != 10 {
+		t.Fatalf("pass-through delivery wrong: %d msgs at %v", len(b.got), b.when)
+	}
+}
+
+// Unregistered destinations are dropped before the interceptor sees them.
+func TestInterceptorNotConsultedForUnknownDst(t *testing.T) {
+	eng, f, _, _ := setup(1, Config{Latency: 1})
+	f.SetInterceptor(scriptIntercept(func(now sim.Time, m *coherence.Msg) ([]Delivery, bool) {
+		t.Fatal("interceptor consulted for unregistered destination")
+		return nil, false
+	}))
+	f.Send(&coherence.Msg{Type: coherence.AGetS, Src: 1, Dst: 99})
+	eng.RunUntilQuiet()
+	if f.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", f.Dropped)
+	}
+}

@@ -26,11 +26,22 @@ const (
 	KindGrant
 	// KindTimeout is the guard's Guarantee 2c watchdog firing.
 	KindTimeout
+	// KindFault is an injected fabric fault (drop, duplicate, delay,
+	// corrupt, reorder) from the internal/faults interceptor; the payload
+	// names the fault.
+	KindFault
+	// KindRetry is the guard re-sending an Invalidate after a recall
+	// deadline expired with retries remaining.
+	KindRetry
+	// KindQuarantine is the guard fencing its accelerator after repeated
+	// guarantee violations (graceful-degradation mode).
+	KindQuarantine
 
 	numKinds
 )
 
-var kindNames = [numKinds]string{"send", "recv", "drop", "violation", "grant", "timeout"}
+var kindNames = [numKinds]string{"send", "recv", "drop", "violation", "grant", "timeout",
+	"fault", "retry", "quarantine"}
 
 // String returns the JSON wire name of the kind (e.g. "send").
 func (k Kind) String() string {
