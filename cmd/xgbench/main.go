@@ -1,0 +1,206 @@
+// Command xgbench runs the simulator's kernel microbenchmarks (E14) and
+// writes a machine-readable perf-trajectory file.
+//
+// It measures, in one binary on one machine:
+//
+//   - engine_schedule / engine_schedule_ref: per-event cost of the
+//     monomorphic 4-ary heap kernel vs the frozen pre-PR4
+//     container/heap kernel (internal/sim/simref).
+//   - fabric_send: the closure-free network delivery path, including its
+//     allocs/op (the CI gate: must be 0).
+//   - stress_hot_path / stress_hot_path_ref: the end-to-end
+//     engine+fabric message churn on both kernels, plus the improvement
+//     percentage (ISSUE 4 acceptance bar: >= 25%).
+//   - e3_stress / e5_runtime: whole-simulator shards (paper §4.1 tester,
+//     E5 blocked workload) reported as sim-ticks/sec — the number that
+//     bounds how many campaign shards fit a time budget.
+//
+// Usage:
+//
+//	xgbench [-out BENCH_PR4.json] [-check]
+//
+// With -check, xgbench exits nonzero if fabric_send allocates on the
+// steady-state path (allocs/op > 0), which is how CI pins the
+// zero-allocation budget.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/network"
+	"crossingguard/internal/perfbench"
+	"crossingguard/internal/sim"
+)
+
+// bench is one measured workload in the JSON report.
+type bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SimTicksPerSec is simulated-ticks advanced per wall-clock second,
+	// 0 for microbenchmarks that do not model time.
+	SimTicksPerSec float64 `json:"sim_ticks_per_sec,omitempty"`
+}
+
+// report is the BENCH_PR4.json schema. Field order is fixed by the
+// struct; runs on the same machine diff cleanly except for measured
+// values.
+type report struct {
+	Schema            string `json:"schema"`
+	EngineSchedule    bench  `json:"engine_schedule"`
+	EngineScheduleRef bench  `json:"engine_schedule_ref"`
+	FabricSend        bench  `json:"fabric_send"`
+	StressHotPath     bench  `json:"stress_hot_path"`
+	StressHotPathRef  bench  `json:"stress_hot_path_ref"`
+	// StressImprovementPct is 100*(ref-new)/ref for stress_hot_path
+	// ns/op — the headline number of the PR4 perf trajectory.
+	StressImprovementPct float64 `json:"stress_improvement_pct"`
+	E3Stress             bench   `json:"e3_stress"`
+	E5Runtime            bench   `json:"e5_runtime"`
+}
+
+// measure converts a testing.BenchmarkResult, attaching ticks/sec when
+// the workload advanced simTicksPerOp of simulated time per op.
+func measure(r testing.BenchmarkResult, simTicksPerOp float64) bench {
+	b := bench{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if simTicksPerOp > 0 && b.NsPerOp > 0 {
+		b.SimTicksPerSec = simTicksPerOp * 1e9 / b.NsPerOp
+	}
+	return b
+}
+
+// nopCtrl is the do-nothing endpoint for the fabric microbenchmark.
+type nopCtrl struct{ id coherence.NodeID }
+
+func (n *nopCtrl) ID() coherence.NodeID { return n.id }
+func (n *nopCtrl) Name() string         { return "nop" }
+func (n *nopCtrl) Recv(*coherence.Msg)  {}
+
+// benchFabricSend mirrors internal/network's BenchmarkFabricSend: one
+// steady-state Send plus its delivery per op.
+func benchFabricSend(b *testing.B) {
+	eng := sim.NewEngine()
+	f := network.NewFabric(eng, 1, network.Config{Latency: 2, Ordered: true})
+	f.Register(&nopCtrl{id: 1})
+	f.Register(&nopCtrl{id: 2})
+	m := &coherence.Msg{Type: coherence.AGetS, Addr: 0x1000, Src: 1, Dst: 2}
+	f.Send(m)
+	eng.RunUntilQuiet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Send(m)
+		eng.RunUntilQuiet()
+	}
+}
+
+const (
+	hotPairs     = 16
+	hotHops      = 50_000
+	schedEvents  = 10_000
+	shardSeed    = 3
+	workloadSeed = 7
+)
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "output file for the machine-readable results")
+	check := flag.Bool("check", false, "exit nonzero if fabric_send allocs/op > 0 (CI gate)")
+	flag.Parse()
+
+	rep := report{Schema: "xgbench/1"}
+
+	fmt.Fprintln(os.Stderr, "xgbench: engine schedule/drain (new kernel)...")
+	rep.EngineSchedule = measure(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			perfbench.ScheduleDrain(schedEvents)
+		}
+	}), 0)
+	fmt.Fprintln(os.Stderr, "xgbench: engine schedule/drain (pre-PR4 reference kernel)...")
+	rep.EngineScheduleRef = measure(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			perfbench.RefScheduleDrain(schedEvents)
+		}
+	}), 0)
+
+	fmt.Fprintln(os.Stderr, "xgbench: fabric send...")
+	rep.FabricSend = measure(testing.Benchmark(benchFabricSend), 0)
+
+	hotTicks, _ := perfbench.HotPath(hotPairs, hotHops)
+	fmt.Fprintln(os.Stderr, "xgbench: stress hot path (new kernel)...")
+	rep.StressHotPath = measure(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			perfbench.HotPath(hotPairs, hotHops)
+		}
+	}), float64(hotTicks))
+	fmt.Fprintln(os.Stderr, "xgbench: stress hot path (pre-PR4 reference kernel)...")
+	rep.StressHotPathRef = measure(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			perfbench.RefHotPath(hotPairs, hotHops)
+		}
+	}), float64(hotTicks))
+	if rep.StressHotPathRef.NsPerOp > 0 {
+		rep.StressImprovementPct = 100 * (rep.StressHotPathRef.NsPerOp - rep.StressHotPath.NsPerOp) /
+			rep.StressHotPathRef.NsPerOp
+	}
+
+	e3Ticks, _, err := perfbench.StressShard(shardSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xgbench: e3 shard: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "xgbench: E3 stress shard (full simulator)...")
+	rep.E3Stress = measure(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := perfbench.StressShard(shardSeed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), float64(e3Ticks))
+
+	e5Ticks, _, err := perfbench.WorkloadShard(workloadSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xgbench: e5 shard: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "xgbench: E5 runtime shard (full simulator)...")
+	rep.E5Runtime = measure(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := perfbench.WorkloadShard(workloadSeed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), float64(e5Ticks))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xgbench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "xgbench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+
+	fmt.Fprintf(os.Stderr, "xgbench: stress hot path %.1f%% faster than pre-PR4 kernel; fabric send %d allocs/op\n",
+		rep.StressImprovementPct, rep.FabricSend.AllocsPerOp)
+	if *check && rep.FabricSend.AllocsPerOp > 0 {
+		fmt.Fprintf(os.Stderr, "xgbench: FAIL: Fabric.Send allocates %d objects/op on the steady-state path, budget is 0\n",
+			rep.FabricSend.AllocsPerOp)
+		os.Exit(1)
+	}
+}

@@ -118,6 +118,13 @@ const (
 	numMsgTypes
 )
 
+// NumMsgTypes is the size of the MsgType value space (one past the last
+// defined type). Hot-path accounting indexes fixed arrays of this length
+// instead of maps; values outside [0, NumMsgTypes) — possible only when a
+// fuzzer forges a message with an undefined type — must be clamped to
+// MsgInvalid by the indexer.
+const NumMsgTypes = int(numMsgTypes)
+
 var msgTypeNames = [...]string{
 	MsgInvalid: "Invalid",
 

@@ -264,7 +264,7 @@ func (g *Guard) after(fn func()) { g.eng.Schedule(g.cfg.GuardLat, fn) }
 func (g *Guard) violation(code, detail string, addr mem.Addr) {
 	g.errors++
 	g.obsReg.Counter("guard.violation." + code).Inc()
-	if b := g.fab.Bus; b != nil {
+	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindViolation,
 			Addr: addr, Payload: code + ": " + detail,
@@ -297,7 +297,7 @@ func (g *Guard) enterQuarantine(addr mem.Addr) {
 	if g.table != nil {
 		g.obsReg.Counter("guard.quarantine.fenced_lines").Add(uint64(g.table.entries()))
 	}
-	if b := g.fab.Bus; b != nil {
+	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindQuarantine,
 			Addr: addr, Payload: fmt.Sprintf("accelerator quarantined after %d violations", g.errors),
@@ -559,7 +559,7 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 		ty = coherence.ADataS
 	}
 	g.mCrossing.Observe(float64(g.eng.Now() - t.start))
-	if b := g.fab.Bus; b != nil {
+	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindGrant,
 			Addr: addr, Msg: ty, To: g.accel, Payload: accelLevel.String(),

@@ -129,7 +129,7 @@ func (g *Guard) armRecallWatchdog(addr mem.Addr, ht *hostTxn, deadline sim.Time,
 		if attempt < g.cfg.RecallRetries {
 			g.RetriesSent++
 			g.obsReg.Counter("guard.recall.retry").Inc()
-			if b := g.fab.Bus; b != nil {
+			if b := g.fab.Bus; b.Active() {
 				b.Emit(obs.Event{
 					Tick: g.eng.Now(), Component: g.name, Kind: obs.KindRetry,
 					Addr: addr, Msg: coherence.AInv, To: g.accel,
@@ -149,7 +149,7 @@ func (g *Guard) armRecallWatchdog(addr mem.Addr, ht *hostTxn, deadline sim.Time,
 // data) and reports the error.
 func (g *Guard) recallTimeout(addr mem.Addr, ht *hostTxn) {
 	g.Timeouts++
-	if b := g.fab.Bus; b != nil {
+	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindTimeout,
 			Addr: addr, Payload: "recall watchdog fired",

@@ -81,7 +81,7 @@ func (in *Injector) note(now sim.Time, kind string, c *obs.Counter, n *uint64, m
 	in.Injected++
 	c.Inc()
 	in.mInjected.Inc()
-	if b := in.fab.Bus; b != nil {
+	if b := in.fab.Bus; b.Active() {
 		e := obs.MsgEvent(now, obs.KindFault, "faults", m)
 		e.Payload = kind
 		b.Emit(e)

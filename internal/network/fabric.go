@@ -8,6 +8,17 @@
 // unbounded, so protocol-level deadlock shows up as a quiesced engine with
 // outstanding transactions (caught by harness watchdogs) rather than as
 // network backpressure.
+//
+// # Hot-path design
+//
+// Send/deliver is the single most executed path in the simulator, so it
+// is allocation-free in steady state: deliveries ride pooled delivRec
+// records (free-listed, callback bound once per record) through
+// sim.Engine.ScheduleEventAt instead of a fresh closure per message,
+// per-channel traffic accounting indexes fixed per-type arrays instead
+// of maps, and trace events are only constructed when the bus is Active.
+// TestFabricSendAllocFree and BenchmarkFabricSend pin the 0 allocs/op
+// budget; see ARCHITECTURE.md "Hot path & allocation discipline".
 package network
 
 import (
@@ -32,34 +43,65 @@ type Config struct {
 
 type chanKey struct{ src, dst coherence.NodeID }
 
-// Stats accumulates traffic on one directed channel.
+// Stats is a point-in-time copy of the traffic counters for one directed
+// channel, as returned by StatsFor/VisitStats. The per-type maps are
+// materialized on demand from the channel's internal fixed arrays (the
+// hot path never touches a map); they are never nil-checked by readers
+// because indexing a nil map yields zero, matching an unused channel.
 type Stats struct {
+	// Msgs and Bytes count all traffic on the channel.
 	Msgs, Bytes uint64
-	// ByType counts messages and bytes per message type.
-	MsgsByType  map[coherence.MsgType]uint64
+	// MsgsByType counts messages per message type (types with no traffic
+	// are absent).
+	MsgsByType map[coherence.MsgType]uint64
+	// BytesByType counts bytes per message type (types with no traffic
+	// are absent).
 	BytesByType map[coherence.MsgType]uint64
-}
-
-func newStats() *Stats {
-	return &Stats{
-		MsgsByType:  make(map[coherence.MsgType]uint64),
-		BytesByType: make(map[coherence.MsgType]uint64),
-	}
-}
-
-func (s *Stats) add(m *coherence.Msg) {
-	b := uint64(m.Bytes())
-	s.Msgs++
-	s.Bytes += b
-	s.MsgsByType[m.Type]++
-	s.BytesByType[m.Type] += b
 }
 
 type channel struct {
 	cfg         Config
 	lastArrival sim.Time
-	stats       *Stats
 	inflight    int // messages sent but not yet delivered on this channel
+
+	// Traffic accounting: fixed arrays indexed by MsgType, so the per-send
+	// cost is two integer adds instead of two map operations, and channels
+	// that never carry typed traffic allocate nothing for it.
+	msgs, bytes uint64
+	msgsByType  [coherence.NumMsgTypes]uint64
+	bytesByType [coherence.NumMsgTypes]uint64
+}
+
+// account records one logical send. Types outside the defined value space
+// (a fuzzer forging an undefined MsgType) are clamped into the MsgInvalid
+// bucket rather than crashing the accounting.
+func (ch *channel) account(m *coherence.Msg) {
+	t := m.Type
+	if t < 0 || int(t) >= coherence.NumMsgTypes {
+		t = coherence.MsgInvalid
+	}
+	b := uint64(m.Bytes())
+	ch.msgs++
+	ch.bytes += b
+	ch.msgsByType[t]++
+	ch.bytesByType[t] += b
+}
+
+// snapshot materializes the externally visible Stats copy.
+func (ch *channel) snapshot() Stats {
+	s := Stats{Msgs: ch.msgs, Bytes: ch.bytes}
+	for t, n := range ch.msgsByType {
+		if n == 0 {
+			continue
+		}
+		if s.MsgsByType == nil {
+			s.MsgsByType = make(map[coherence.MsgType]uint64)
+			s.BytesByType = make(map[coherence.MsgType]uint64)
+		}
+		s.MsgsByType[coherence.MsgType(t)] = n
+		s.BytesByType[coherence.MsgType(t)] = ch.bytesByType[t]
+	}
+	return s
 }
 
 // Delivery describes one scheduled arrival of an intercepted message. An
@@ -88,6 +130,39 @@ type Interceptor interface {
 	Intercept(now sim.Time, m *coherence.Msg) (deliveries []Delivery, handled bool)
 }
 
+// delivRec is one pooled in-flight delivery: the closure-free replacement
+// for the per-message func() the fabric used to hand the engine. The
+// callback (run) is bound into ev exactly once, when the record is first
+// allocated; afterwards the record cycles through the fabric's free list,
+// so steady-state delivery costs zero allocations. A record belongs to
+// the engine from ScheduleEventAt until run fires, which releases it
+// (fields cleared — no message is pinned by the pool) before invoking the
+// receiver, so a Recv that immediately Sends reuses the same record.
+type delivRec struct {
+	fab  *Fabric
+	ch   *channel
+	dst  coherence.Controller
+	m    *coherence.Msg
+	ev   sim.Timed
+	next *delivRec // free-list link, nil while in flight
+}
+
+// run is the arrival callback: pool release, accounting, trace, Recv.
+func (r *delivRec) run() {
+	f := r.fab
+	ch, dst, m := r.ch, r.dst, r.m
+	r.ch, r.dst, r.m = nil, nil, nil
+	r.next = f.freeRec
+	f.freeRec = r
+
+	ch.inflight--
+	f.mInflight.Add(-1)
+	if b := f.Bus; b.Active() {
+		b.Emit(obs.MsgEvent(f.eng.Now(), obs.KindRecv, dst.Name(), m))
+	}
+	dst.Recv(m)
+}
+
 // Fabric routes messages between registered controllers.
 type Fabric struct {
 	eng      *sim.Engine
@@ -97,12 +172,19 @@ type Fabric struct {
 	defaults Config
 	routes   map[chanKey]Config
 
+	// freeRec heads the delivery-record pool. Records are pushed back in
+	// run before Recv executes, so a simulation's pool size converges to
+	// its peak in-flight message count and then stops allocating.
+	freeRec *delivRec
+
 	// Bus, when non-nil, receives a structured trace event for every
 	// send, delivery, and drop (obs.KindSend/KindRecv/KindDrop) — the
 	// typed replacement for the old printf trace ring, used by
 	// cmd/xgtrace and the campaign runner's failure artifacts. It is the
 	// system-wide trace bus: other components (the guard) also emit
 	// through it, since every component already holds the fabric.
+	// Emission sites gate on Bus.Active, so a bus nobody listens to
+	// costs nothing on the hot path.
 	Bus *obs.Bus
 
 	// Dropped counts sends to unregistered destinations (possible only
@@ -181,7 +263,7 @@ func (f *Fabric) channelFor(k chanKey) *channel {
 	if !ok {
 		cfg = f.defaults
 	}
-	ch := &channel{cfg: cfg, stats: newStats()}
+	ch := &channel{cfg: cfg}
 	f.chans[k] = ch
 	return ch
 }
@@ -201,13 +283,13 @@ func (f *Fabric) Send(m *coherence.Msg) {
 	if !ok {
 		f.Dropped++
 		f.mDropped.Inc()
-		if b := f.Bus; b != nil {
+		if b := f.Bus; b.Active() {
 			b.Emit(obs.MsgEvent(f.eng.Now(), obs.KindDrop, "net", m))
 		}
 		return
 	}
 	ch := f.channelFor(chanKey{m.Src, m.Dst})
-	ch.stats.add(m)
+	ch.account(m)
 	f.mMsgs.Inc()
 	f.mBytes.Add(uint64(m.Bytes()))
 
@@ -223,7 +305,8 @@ func (f *Fabric) Send(m *coherence.Msg) {
 }
 
 // deliver schedules one arrival on ch; d carries the (possibly perturbed)
-// message and its fault adjustments.
+// message and its fault adjustments. The arrival rides a pooled delivRec
+// instead of a closure, so the steady-state cost is heap push only.
 func (f *Fabric) deliver(ch *channel, dst coherence.Controller, d Delivery) {
 	m := d.Msg
 	ch.inflight++
@@ -241,33 +324,38 @@ func (f *Fabric) deliver(ch *channel, dst coherence.Controller, d Delivery) {
 		}
 		ch.lastArrival = arrival
 	}
-	if b := f.Bus; b != nil {
+	if b := f.Bus; b.Active() {
 		b.Emit(obs.MsgEvent(f.eng.Now(), obs.KindSend, "net", m))
 	}
-	f.eng.ScheduleAt(arrival, func() {
-		ch.inflight--
-		f.mInflight.Add(-1)
-		if b := f.Bus; b != nil {
-			b.Emit(obs.MsgEvent(f.eng.Now(), obs.KindRecv, dst.Name(), m))
-		}
-		dst.Recv(m)
-	})
+
+	r := f.freeRec
+	if r != nil {
+		f.freeRec = r.next
+		r.next = nil
+	} else {
+		r = &delivRec{fab: f}
+		r.ev.Fn = r.run // the pool's one allocation: bound method value
+	}
+	r.ch, r.dst, r.m = ch, dst, m
+	f.eng.ScheduleEventAt(arrival, &r.ev)
 }
 
 // StatsFor returns traffic counters for the directed channel src->dst
 // (zero-valued if unused).
 func (f *Fabric) StatsFor(src, dst coherence.NodeID) Stats {
 	if ch, ok := f.chans[chanKey{src, dst}]; ok {
-		return *ch.stats
+		return ch.snapshot()
 	}
 	return Stats{}
 }
 
-// VisitStats calls fn for every directed channel with traffic.
+// VisitStats calls fn for every directed channel with traffic. The Stats
+// pointee is a per-call snapshot the visitor may keep or mutate freely.
 func (f *Fabric) VisitStats(fn func(src, dst coherence.NodeID, s *Stats)) {
 	for k, ch := range f.chans {
-		if ch.stats.Msgs > 0 {
-			fn(k.src, k.dst, ch.stats)
+		if ch.msgs > 0 {
+			s := ch.snapshot()
+			fn(k.src, k.dst, &s)
 		}
 	}
 }
@@ -276,10 +364,10 @@ func (f *Fabric) VisitStats(fn func(src, dst coherence.NodeID, s *Stats)) {
 // filter matches everything).
 func (f *Fabric) TotalBytes(filter func(src, dst coherence.NodeID) bool) uint64 {
 	var n uint64
-	f.VisitStats(func(src, dst coherence.NodeID, s *Stats) {
-		if filter == nil || filter(src, dst) {
-			n += s.Bytes
+	for k, ch := range f.chans {
+		if ch.msgs > 0 && (filter == nil || filter(k.src, k.dst)) {
+			n += ch.bytes
 		}
-	})
+	}
 	return n
 }

@@ -183,10 +183,11 @@ type Sink interface {
 }
 
 // Bus fans events from the simulator into one sink. A nil *Bus is a
-// valid no-op, but hot paths should still guard emission with a nil
-// check so event construction itself is skipped:
+// valid no-op, but hot paths must guard emission with Active so event
+// construction itself is skipped when nobody is listening (a bus with no
+// sink, or one whose sink already failed, costs the same as no bus):
 //
-//	if b := fab.Bus; b != nil {
+//	if b := fab.Bus; b.Active() {
 //	    b.Emit(obs.MsgEvent(...))
 //	}
 type Bus struct {
@@ -199,6 +200,15 @@ type Bus struct {
 // NewBus returns a bus feeding sink.
 func NewBus(sink Sink) *Bus {
 	return &Bus{sink: sink}
+}
+
+// Active reports whether an Emit would reach a sink. It is the hot-path
+// fast gate: when it returns false, callers skip building the Event
+// entirely (MsgEvent renders payload strings, which is far more expensive
+// than this nil-safe triple check). Active is false for a nil bus, a bus
+// with no sink, and a bus whose sink has latched an error.
+func (b *Bus) Active() bool {
+	return b != nil && b.err == nil && b.sink != nil
 }
 
 // Emit forwards e to the sink. After the first sink error the bus goes

@@ -1,0 +1,154 @@
+package perfbench
+
+import (
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/obs"
+	"crossingguard/internal/sim"
+	"crossingguard/internal/sim/simref"
+)
+
+// This file re-creates the pre-PR4 delivery path faithfully enough to
+// benchmark against: the simref container/heap kernel (two interface
+// boxings per event), a freshly allocated delivery closure per message,
+// per-type map traffic accounting, and the nil-safe metric calls the old
+// fabric made unconditionally. It is measurement apparatus, not
+// simulation code — only RefScheduleDrain/RefHotPath use it.
+
+// RefScheduleDrain is ScheduleDrain on the frozen pre-PR4 kernel. It
+// executes the identical event schedule (asserted by the differential
+// tests in internal/sim), paying the old per-event boxing costs.
+func RefScheduleDrain(events int) uint64 {
+	eng := simref.NewEngine()
+	left := events
+	var fns [4]func()
+	for i := range fns {
+		d := sim.Time(i * 3)
+		fns[i] = func() {
+			if left > 0 {
+				left--
+				eng.Schedule(d, fns[(left*7)%4])
+			}
+		}
+	}
+	for i := 0; i < 16 && left > 0; i++ {
+		left--
+		eng.Schedule(sim.Time(i%5), fns[i%4])
+	}
+	eng.RunUntilQuiet()
+	return eng.Executed
+}
+
+// refStats is the old map-backed per-channel accounting.
+type refStats struct {
+	msgs, bytes uint64
+	msgsByType  map[coherence.MsgType]uint64
+	bytesByType map[coherence.MsgType]uint64
+}
+
+func (s *refStats) add(m *coherence.Msg) {
+	b := uint64(m.Bytes())
+	s.msgs++
+	s.bytes += b
+	s.msgsByType[m.Type]++
+	s.bytesByType[m.Type] += b
+}
+
+// refChannel mirrors the old network.channel.
+type refChannel struct {
+	lastArrival sim.Time
+	stats       *refStats
+	inflight    int
+}
+
+type refChanKey struct{ src, dst coherence.NodeID }
+
+// refFabric is the pre-PR4 fabric hot path: map stats, per-delivery
+// closure, unconditional nil-safe instrument calls.
+type refFabric struct {
+	eng     *simref.Engine
+	nodes   map[coherence.NodeID]*refEcho
+	chans   map[refChanKey]*refChannel
+	latency sim.Time
+	ordered bool
+
+	mMsgs, mBytes *obs.Counter // nil, as in an uninstrumented old fabric
+	mInflight     *obs.Gauge
+	mDepth        *obs.Histogram
+}
+
+func (f *refFabric) channelFor(k refChanKey) *refChannel {
+	if ch, ok := f.chans[k]; ok {
+		return ch
+	}
+	ch := &refChannel{stats: &refStats{
+		msgsByType:  make(map[coherence.MsgType]uint64),
+		bytesByType: make(map[coherence.MsgType]uint64),
+	}}
+	f.chans[k] = ch
+	return ch
+}
+
+func (f *refFabric) send(m *coherence.Msg) {
+	dst := f.nodes[m.Dst]
+	ch := f.channelFor(refChanKey{m.Src, m.Dst})
+	ch.stats.add(m)
+	f.mMsgs.Inc()
+	f.mBytes.Add(uint64(m.Bytes()))
+
+	ch.inflight++
+	f.mInflight.Add(1)
+	f.mDepth.Observe(float64(ch.inflight))
+	arrival := f.eng.Now() + f.latency
+	if f.ordered {
+		if arrival < ch.lastArrival {
+			arrival = ch.lastArrival
+		}
+		ch.lastArrival = arrival
+	}
+	f.eng.ScheduleAt(arrival, func() { // the old per-message closure
+		ch.inflight--
+		f.mInflight.Add(-1)
+		dst.recv(m)
+	})
+}
+
+// refEcho mirrors echo on the legacy fabric.
+type refEcho struct {
+	fab   *refFabric
+	reply *coherence.Msg
+	left  *int
+}
+
+func (e *refEcho) recv(m *coherence.Msg) {
+	if *e.left > 0 {
+		*e.left--
+		e.fab.send(e.reply)
+	}
+}
+
+// RefHotPath is HotPath on the re-created pre-PR4 delivery path. Same
+// message schedule, same final time and event count (asserted by
+// TestHotPathMatchesReference), old per-message costs.
+func RefHotPath(pairs, hops int) (sim.Time, uint64) {
+	eng := simref.NewEngine()
+	fab := &refFabric{
+		eng:     eng,
+		nodes:   make(map[coherence.NodeID]*refEcho),
+		chans:   make(map[refChanKey]*refChannel),
+		latency: 1,
+		ordered: true,
+	}
+	left := hops
+	a := &refEcho{fab: fab, left: &left,
+		reply: &coherence.Msg{Type: coherence.AGetS, Addr: 0x1000, Src: 1, Dst: 2}}
+	b := &refEcho{fab: fab, left: &left,
+		reply: &coherence.Msg{Type: coherence.ADataS, Addr: 0x1000, Src: 2, Dst: 1}}
+	fab.nodes[1] = a
+	fab.nodes[2] = b
+	for i := 0; i < pairs; i++ {
+		fab.send(&coherence.Msg{Type: coherence.AGetS, Addr: mem.Addr(0x1000 + i*64), Src: 1, Dst: 2})
+	}
+	end := eng.RunUntilQuiet()
+	return end, eng.Executed
+}

@@ -1,0 +1,62 @@
+package perfbench
+
+import "testing"
+
+// TestScheduleDrainMatchesReference checks the new- and old-kernel
+// schedule churns execute the same number of events — the two variants
+// must measure the same work or the benchmark comparison is fiction.
+func TestScheduleDrainMatchesReference(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 10_000} {
+		if got, want := ScheduleDrain(n), RefScheduleDrain(n); got != want {
+			t.Fatalf("ScheduleDrain(%d) executed %d events, reference %d", n, got, want)
+		}
+	}
+}
+
+// TestHotPathMatchesReference checks the production fabric and the
+// re-created pre-PR4 fabric run the identical message schedule: same
+// final simulated time, same event count.
+func TestHotPathMatchesReference(t *testing.T) {
+	for _, c := range []struct{ pairs, hops int }{{1, 10}, {4, 1000}, {16, 5000}} {
+		endNew, evNew := HotPath(c.pairs, c.hops)
+		endRef, evRef := RefHotPath(c.pairs, c.hops)
+		if endNew != endRef || evNew != evRef {
+			t.Fatalf("HotPath(%d,%d) = (t=%d, ev=%d), reference (t=%d, ev=%d)",
+				c.pairs, c.hops, endNew, evNew, endRef, evRef)
+		}
+	}
+}
+
+// TestStressShardDeterministic pins the xgbench throughput workload:
+// same seed, same simulated ticks and memops.
+func TestStressShardDeterministic(t *testing.T) {
+	t1, ops1, err := StressShard(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, ops2, err := StressShard(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 || ops1 != ops2 {
+		t.Fatalf("stress shard not deterministic: (%d,%d) vs (%d,%d)", t1, ops1, t2, ops2)
+	}
+	if t1 == 0 || ops1 == 0 {
+		t.Fatalf("stress shard did no work: ticks=%d memops=%d", t1, ops1)
+	}
+}
+
+// TestWorkloadShardDeterministic pins the E5-style workload likewise.
+func TestWorkloadShardDeterministic(t *testing.T) {
+	t1, cy1, err := WorkloadShard(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, cy2, err := WorkloadShard(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 || cy1 != cy2 {
+		t.Fatalf("workload shard not deterministic: (%d,%d) vs (%d,%d)", t1, cy1, t2, cy2)
+	}
+}

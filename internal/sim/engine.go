@@ -5,12 +5,24 @@
 // in strict timestamp order, with FIFO tie-breaking by insertion order.
 // Determinism is a hard requirement for debugging coherence races: given
 // the same seed and configuration, a run is bit-for-bit reproducible.
+//
+// # Hot-path design
+//
+// The queue is a hand-rolled monomorphic 4-ary min-heap over event
+// values. Unlike container/heap, nothing is boxed through interface{}:
+// a push is an append plus integer compares, a pop shifts values and
+// clears the vacated slot so a finished callback is not retained by the
+// backing array. Steady-state Schedule/step cycles perform no heap
+// allocation beyond amortized growth of the backing array; see
+// ARCHITECTURE.md "Hot path & allocation discipline".
+//
+// Callers that schedule the same logical callback repeatedly (the
+// network fabric's delivery records, tickers, pooled protocol events)
+// should bind the callback once in a Timed and use ScheduleEvent, which
+// is allocation-free per call.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is the simulated clock, in ticks. One tick loosely corresponds to
 // one processor cycle in the performance model.
@@ -23,20 +35,98 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
+// before reports whether a must execute before b: earlier timestamp, or
+// earlier insertion on a timestamp tie (FIFO). (at, seq) pairs are unique
+// because seq increments on every schedule, so ordering is total and the
+// execution order is independent of heap layout.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a 4-ary min-heap ordered by (at, seq). Children of slot i
+// live at 4i+1..4i+4. A 4-ary layout halves tree depth versus binary,
+// trading a few extra sibling compares (cache-resident) for fewer levels
+// of swaps — the usual win for discrete-event queues where pops dominate.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push adds ev, restoring heap order.
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !q[i].before(q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	*h = q
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the popped callback is unreachable once executed (a long
+// RunUntil must not pin every closure it ever ran).
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	moved := q[n]
+	q[n] = event{} // release fn: no liveness beyond execution
+	q = q[:n]
+	if n > 0 {
+		// Sift moved down from the root, writing it only at its final
+		// slot (half the stores of swap-based sifting).
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if q[j].before(q[m]) {
+					m = j
+				}
+			}
+			if !q[m].before(moved) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = moved
+	}
+	*h = q
+	return top
+}
+
+func (h eventHeap) peek() event { return h[0] }
+
+// Timed is a reusable scheduled event: the callback is bound once (one
+// closure or method-value allocation at construction) and the record is
+// then passed to ScheduleEvent any number of times with no per-schedule
+// allocation. It is the kernel half of the pooling protocol used by the
+// network fabric's delivery records.
+//
+// Contract for pooled Timed owners: a record handed to ScheduleEvent is
+// owned by the engine until Fn runs; it must not be re-scheduled or
+// recycled before then unless Fn tolerates concurrent pending instances.
+type Timed struct {
+	// Fn is the callback run when the event fires. It must be non-nil at
+	// ScheduleEvent time and should be bound once, at construction.
+	Fn func()
+}
+
+// NewTimed returns a Timed bound to fn.
+func NewTimed(fn func()) *Timed { return &Timed{Fn: fn} }
 
 // Engine is a deterministic discrete-event scheduler.
 //
@@ -64,7 +154,7 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 		panic("sim: Schedule with nil fn")
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.pq.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // ScheduleAt runs fn at absolute time t. Scheduling in the past panics:
@@ -74,6 +164,26 @@ func (e *Engine) ScheduleAt(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: ScheduleAt(%d) in the past (now=%d)", t, e.now))
 	}
 	e.Schedule(t-e.now, fn)
+}
+
+// ScheduleEvent runs t.Fn after delay ticks, with the same ordering
+// semantics as Schedule. It allocates nothing: the callback was bound
+// when t was constructed.
+func (e *Engine) ScheduleEvent(delay Time, t *Timed) {
+	if t == nil || t.Fn == nil {
+		panic("sim: ScheduleEvent with nil Timed/Fn")
+	}
+	e.seq++
+	e.pq.push(event{at: e.now + delay, seq: e.seq, fn: t.Fn})
+}
+
+// ScheduleEventAt runs t.Fn at absolute time at (panics when at is in
+// the past, like ScheduleAt), allocation-free like ScheduleEvent.
+func (e *Engine) ScheduleEventAt(at Time, t *Timed) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleEventAt(%d) in the past (now=%d)", at, e.now))
+	}
+	e.ScheduleEvent(at-e.now, t)
 }
 
 // Pending reports the number of queued events.
@@ -88,7 +198,7 @@ func (e *Engine) step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pq.pop()
 	e.now = ev.at
 	e.Executed++
 	ev.fn()

@@ -1,0 +1,80 @@
+package sim_test
+
+import (
+	"testing"
+
+	"crossingguard/internal/perfbench"
+	"crossingguard/internal/sim"
+)
+
+// TestEngineScheduleAllocFree pins the kernel's allocation budget:
+// steady-state Schedule+step cycles on a warmed engine allocate nothing
+// (the only permitted allocation is amortized backing-array growth,
+// which the warm-up phase has already paid).
+func TestEngineScheduleAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	e := sim.NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(sim.Time(i%13), fn)
+	}
+	e.RunUntilQuiet()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(sim.Time(i%13), fn)
+		}
+		e.RunUntilQuiet()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Schedule+drain allocated %v objects/run, want 0", allocs)
+	}
+}
+
+// TestScheduleEventAllocFree pins the pooled-event contract: scheduling
+// a prebound Timed allocates nothing even on a cold (but pre-grown)
+// queue.
+func TestScheduleEventAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	e := sim.NewEngine()
+	tev := sim.NewTimed(func() {})
+	for i := 0; i < 256; i++ {
+		e.ScheduleEvent(sim.Time(i%7), tev)
+	}
+	e.RunUntilQuiet()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			e.ScheduleEvent(sim.Time(i%7), tev)
+		}
+		e.RunUntilQuiet()
+	})
+	if allocs != 0 {
+		t.Fatalf("ScheduleEvent allocated %v objects/run, want 0", allocs)
+	}
+}
+
+// BenchmarkEngineSchedule measures the production kernel's per-event
+// cost on the perfbench schedule/drain churn (compare with
+// BenchmarkEngineScheduleRef, the frozen container/heap kernel).
+func BenchmarkEngineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if n := perfbench.ScheduleDrain(10_000); n == 0 {
+			b.Fatal("no events executed")
+		}
+	}
+}
+
+// BenchmarkEngineScheduleRef is BenchmarkEngineSchedule on the frozen
+// pre-PR4 kernel (container/heap, interface-boxed events).
+func BenchmarkEngineScheduleRef(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if n := perfbench.RefScheduleDrain(10_000); n == 0 {
+			b.Fatal("no events executed")
+		}
+	}
+}
