@@ -6,6 +6,8 @@
 //   - engine_schedule / engine_schedule_ref: per-event cost of the
 //     monomorphic 4-ary heap kernel vs the frozen pre-PR4
 //     container/heap kernel (internal/sim/simref).
+//   - engine_schedule_steady: one Schedule+drain on a warmed engine —
+//     the steady-state path whose allocs/op the CI gate pins at 0.
 //   - fabric_send: the closure-free network delivery path, including its
 //     allocs/op (the CI gate: must be 0).
 //   - stress_hot_path / stress_hot_path_ref: the end-to-end
@@ -14,14 +16,19 @@
 //   - e3_stress / e5_runtime: whole-simulator shards (paper §4.1 tester,
 //     E5 blocked workload) reported as sim-ticks/sec — the number that
 //     bounds how many campaign shards fit a time budget.
+//   - e3_stress_recorded: the same E3 shard with the offline-checker
+//     observation recorder attached to every sequencer, plus
+//     recording_overhead_pct vs the plain shard (ISSUE 6 acceptance
+//     bar: <= 15%).
 //
 // Usage:
 //
-//	xgbench [-out BENCH_PR4.json] [-check]
+//	xgbench [-out BENCH_PR6.json] [-check]
 //
-// With -check, xgbench exits nonzero if fabric_send allocates on the
-// steady-state path (allocs/op > 0), which is how CI pins the
-// zero-allocation budget.
+// With -check, xgbench exits nonzero if any budget is blown:
+// fabric_send or engine_schedule_steady allocates on the steady-state
+// path (allocs/op > 0, i.e. recording disabled must cost nothing), or
+// recording_overhead_pct exceeds 15.
 package main
 
 import (
@@ -47,20 +54,27 @@ type bench struct {
 	SimTicksPerSec float64 `json:"sim_ticks_per_sec,omitempty"`
 }
 
-// report is the BENCH_PR4.json schema. Field order is fixed by the
-// struct; runs on the same machine diff cleanly except for measured
-// values.
+// report is the BENCH_PR6.json schema (xgbench/2: adds the steady-state
+// engine gate and the observation-recording overhead pair). Field order
+// is fixed by the struct; runs on the same machine diff cleanly except
+// for measured values.
 type report struct {
-	Schema            string `json:"schema"`
-	EngineSchedule    bench  `json:"engine_schedule"`
-	EngineScheduleRef bench  `json:"engine_schedule_ref"`
-	FabricSend        bench  `json:"fabric_send"`
-	StressHotPath     bench  `json:"stress_hot_path"`
-	StressHotPathRef  bench  `json:"stress_hot_path_ref"`
+	Schema               string `json:"schema"`
+	EngineSchedule       bench  `json:"engine_schedule"`
+	EngineScheduleRef    bench  `json:"engine_schedule_ref"`
+	EngineScheduleSteady bench  `json:"engine_schedule_steady"`
+	FabricSend           bench  `json:"fabric_send"`
+	StressHotPath        bench  `json:"stress_hot_path"`
+	StressHotPathRef     bench  `json:"stress_hot_path_ref"`
 	// StressImprovementPct is 100*(ref-new)/ref for stress_hot_path
 	// ns/op — the headline number of the PR4 perf trajectory.
 	StressImprovementPct float64 `json:"stress_improvement_pct"`
 	E3Stress             bench   `json:"e3_stress"`
+	E3StressRecorded     bench   `json:"e3_stress_recorded"`
+	// RecordingOverheadPct is 100*(recorded-plain)/plain for e3_stress
+	// ns/op — what attaching the offline checker's observation streams
+	// costs the full simulator (ISSUE 6 budget: <= 15%).
+	RecordingOverheadPct float64 `json:"recording_overhead_pct"`
 	E5Runtime            bench   `json:"e5_runtime"`
 }
 
@@ -84,6 +98,26 @@ type nopCtrl struct{ id coherence.NodeID }
 func (n *nopCtrl) ID() coherence.NodeID { return n.id }
 func (n *nopCtrl) Name() string         { return "nop" }
 func (n *nopCtrl) Recv(*coherence.Msg)  {}
+
+// benchEngineScheduleSteady measures one Schedule+drain on a warmed
+// engine: the heap has already grown to capacity and the callback
+// captures nothing, so this is the pure steady-state scheduling path.
+// Its allocs/op is the second -check gate (budget 0): with recording
+// disabled, the event kernel must not allocate.
+func benchEngineScheduleSteady(b *testing.B) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		eng.Schedule(sim.Time(i%7), fn)
+	}
+	eng.RunUntilQuiet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(1, fn)
+		eng.RunUntilQuiet()
+	}
+}
 
 // benchFabricSend mirrors internal/network's BenchmarkFabricSend: one
 // steady-state Send plus its delivery per op.
@@ -112,11 +146,11 @@ const (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output file for the machine-readable results")
-	check := flag.Bool("check", false, "exit nonzero if fabric_send allocs/op > 0 (CI gate)")
+	out := flag.String("out", "BENCH_PR6.json", "output file for the machine-readable results")
+	check := flag.Bool("check", false, "exit nonzero if any budget is blown: steady-state allocs/op > 0 (fabric_send, engine_schedule_steady) or recording overhead > 15% (CI gate)")
 	flag.Parse()
 
-	rep := report{Schema: "xgbench/1"}
+	rep := report{Schema: "xgbench/2"}
 
 	fmt.Fprintln(os.Stderr, "xgbench: engine schedule/drain (new kernel)...")
 	rep.EngineSchedule = measure(testing.Benchmark(func(b *testing.B) {
@@ -132,6 +166,9 @@ func main() {
 			perfbench.RefScheduleDrain(schedEvents)
 		}
 	}), 0)
+
+	fmt.Fprintln(os.Stderr, "xgbench: engine schedule steady state...")
+	rep.EngineScheduleSteady = measure(testing.Benchmark(benchEngineScheduleSteady), 0)
 
 	fmt.Fprintln(os.Stderr, "xgbench: fabric send...")
 	rep.FabricSend = measure(testing.Benchmark(benchFabricSend), 0)
@@ -170,6 +207,29 @@ func main() {
 		}
 	}), float64(e3Ticks))
 
+	e3rTicks, _, err := perfbench.StressShardRecorded(shardSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xgbench: recorded e3 shard: %v\n", err)
+		os.Exit(1)
+	}
+	if e3rTicks != e3Ticks {
+		fmt.Fprintf(os.Stderr, "xgbench: recording perturbed the shard: %d ticks recorded vs %d plain\n",
+			e3rTicks, e3Ticks)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "xgbench: E3 stress shard with observation recording...")
+	rep.E3StressRecorded = measure(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := perfbench.StressShardRecorded(shardSeed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), float64(e3rTicks))
+	if rep.E3Stress.NsPerOp > 0 {
+		rep.RecordingOverheadPct = 100 * (rep.E3StressRecorded.NsPerOp - rep.E3Stress.NsPerOp) /
+			rep.E3Stress.NsPerOp
+	}
+
 	e5Ticks, _, err := perfbench.WorkloadShard(workloadSeed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xgbench: e5 shard: %v\n", err)
@@ -196,11 +256,27 @@ func main() {
 	}
 	os.Stdout.Write(data)
 
-	fmt.Fprintf(os.Stderr, "xgbench: stress hot path %.1f%% faster than pre-PR4 kernel; fabric send %d allocs/op\n",
-		rep.StressImprovementPct, rep.FabricSend.AllocsPerOp)
-	if *check && rep.FabricSend.AllocsPerOp > 0 {
-		fmt.Fprintf(os.Stderr, "xgbench: FAIL: Fabric.Send allocates %d objects/op on the steady-state path, budget is 0\n",
-			rep.FabricSend.AllocsPerOp)
-		os.Exit(1)
+	fmt.Fprintf(os.Stderr, "xgbench: stress hot path %.1f%% faster than pre-PR4 kernel; fabric send %d allocs/op; recording overhead %.1f%%\n",
+		rep.StressImprovementPct, rep.FabricSend.AllocsPerOp, rep.RecordingOverheadPct)
+	if *check {
+		fail := false
+		if rep.FabricSend.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "xgbench: FAIL: Fabric.Send allocates %d objects/op on the steady-state path, budget is 0\n",
+				rep.FabricSend.AllocsPerOp)
+			fail = true
+		}
+		if rep.EngineScheduleSteady.AllocsPerOp > 0 {
+			fmt.Fprintf(os.Stderr, "xgbench: FAIL: Engine.Schedule allocates %d objects/op on the steady-state path, budget is 0\n",
+				rep.EngineScheduleSteady.AllocsPerOp)
+			fail = true
+		}
+		if rep.RecordingOverheadPct > 15 {
+			fmt.Fprintf(os.Stderr, "xgbench: FAIL: observation recording costs %.1f%% on the E3 stress shard, budget is 15%%\n",
+				rep.RecordingOverheadPct)
+			fail = true
+		}
+		if fail {
+			os.Exit(1)
+		}
 	}
 }

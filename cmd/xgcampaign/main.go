@@ -9,14 +9,25 @@
 //
 //	xgcampaign [-mode stress|fuzz|chaos|all] [-seeds N] [-workers N]
 //	           [-budget 30s] [-stores N] [-messages N] [-cpus N] [-cores N]
-//	           [-checked] [-coverage=false] [-metrics out.json] [-trace out.jsonl]
+//	           [-checked] [-consistency] [-coverage=false]
+//	           [-metrics out.json] [-trace out.jsonl] [-obs out.obs]
 //	xgcampaign -repro 'kind=stress host=hammer org=xg-full/1L seed=3 ...'
+//	xgcampaign -shrink 'kind=chaos host=hammer org=xg-full/1L seed=1 ...'
 //
 // Fixed-set mode runs (hosts x organizations x seeds 1..N). Budget mode
 // (-budget) keeps drawing fresh seeds until the wall-clock budget
 // expires, reporting shards/sec, stores/sec, and cumulative transition
 // coverage as it goes. -repro re-runs a single captured shard with the
 // network trace enabled and dumps the trace tail on failure.
+//
+// -consistency records every core's completed loads and stores and runs
+// the offline invariant checker (SWMR, data-value, write-serialization)
+// over each shard's history wherever inline value verification applies;
+// -obs exports the recorded observation log for cmd/xgcheck, and
+// failing recorded shards embed an observation tail in their artifact.
+// -shrink takes a failing shard spec and ddmin-shrinks its op budget,
+// core counts, and fault plan while the failure reproduces, printing a
+// minimal spec whose -repro replays the reduced failure.
 //
 // -mode chaos sweeps adversarial accelerator models x deterministic
 // fault plans against guards armed with recall retries and quarantine;
@@ -50,16 +61,23 @@ var (
 	cpus     = flag.Int("cpus", 2, "CPU cores per machine")
 	cores    = flag.Int("cores", 2, "accelerator cores per machine (stress shards)")
 	checked  = flag.Bool("checked", false, "fuzz: keep value checks on while the attacker shares pages (deliberately failing buggy-accelerator demo)")
+	consist  = flag.Bool("consistency", false, "record per-core observations and run the offline invariant checker on every value-checked shard")
 	coverage = flag.Bool("coverage", true, "print merged state/event coverage")
 	repro    = flag.String("repro", "", "re-run one captured shard spec with tracing enabled")
+	shrink   = flag.String("shrink", "", "ddmin-shrink a failing shard spec to a minimal still-failing repro")
+	shrinkN  = flag.Int("shrink-runs", 120, "run budget for -shrink (shards executed)")
 	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file (render with cmd/xgreport)")
 	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
+	obsOut   = flag.String("obs", "", "write the recorded observation log (xgobs v1) to this file; needs -consistency")
 )
 
 func main() {
 	flag.Parse()
 	if *repro != "" {
 		os.Exit(runRepro(*repro))
+	}
+	if *shrink != "" {
+		os.Exit(runShrink(*shrink, *shrinkN))
 	}
 
 	var base []campaign.ShardSpec
@@ -84,6 +102,11 @@ func main() {
 			}
 		}
 	}
+	if *consist || *obsOut != "" {
+		for i := range base {
+			base[i].Consistency = true
+		}
+	}
 
 	opt := campaign.Options{Workers: *workers, Progress: os.Stderr, Trace: *trace != ""}
 	var rep *campaign.Report
@@ -101,7 +124,7 @@ func main() {
 		rep = campaign.Run(specs, opt)
 	}
 
-	if err := rep.ExportFiles(*metrics, *trace); err != nil {
+	if err := rep.ExportFiles(*metrics, *trace, *obsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
 		os.Exit(campaign.ExitViolation)
 	}
@@ -240,5 +263,33 @@ func runRepro(spec string) int {
 		fmt.Println("\n--- network trace tail ---")
 		fmt.Print(res.TraceDump)
 	}
+	if res.ObsDump != "" {
+		fmt.Println()
+		fmt.Print(res.ObsDump)
+	}
 	return campaign.ExitViolation
+}
+
+func runShrink(spec string, maxRuns int) int {
+	s, err := campaign.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
+		return campaign.ExitUsage
+	}
+	fmt.Printf("shrinking failing shard: %s\n", campaign.FormatSpec(s))
+	start := time.Now()
+	res, err := campaign.Shrink(s, campaign.ShrinkOptions{MaxRuns: maxRuns, Log: os.Stderr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
+		return campaign.ExitUsage
+	}
+	fmt.Printf("original failure: %s\n", res.OriginalErr)
+	for _, step := range res.Steps {
+		fmt.Printf("  reduced %s\n", step)
+	}
+	fmt.Printf("minimal failure:  %s\n", res.MinimalErr)
+	fmt.Printf("%d runs in %v\n\nminimal spec: %s\n  repro: %s\n",
+		res.Runs, time.Since(start).Round(time.Millisecond),
+		campaign.FormatSpec(res.Minimal), res.Minimal.ReproCommand())
+	return campaign.ExitOK
 }

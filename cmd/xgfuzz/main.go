@@ -12,8 +12,14 @@
 //
 // Usage:
 //
-//	xgfuzz [-seeds N] [-messages N] [-cpus N] [-workers N]
-//	       [-metrics out.json] [-trace out.jsonl]
+//	xgfuzz [-seeds N] [-messages N] [-cpus N] [-workers N] [-consistency]
+//	       [-metrics out.json] [-trace out.jsonl] [-obs out.obs]
+//
+// -consistency records per-core observations on every shard and runs
+// the offline invariant checker over confined/checked variants (an
+// unconfined attacker may legitimately corrupt shared data, so only
+// liveness is asserted there); -obs exports the observation log for
+// cmd/xgcheck.
 package main
 
 import (
@@ -31,15 +37,22 @@ var (
 	messages = flag.Int("messages", 3000, "fuzz messages per run")
 	cpus     = flag.Int("cpus", 2, "CPU cores")
 	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	consist  = flag.Bool("consistency", false, "record per-core observations; the offline checker runs on confined/checked shards")
 	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file (render with cmd/xgreport)")
 	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
+	obsOut   = flag.String("obs", "", "write the recorded observation log (xgobs v1) to this file; needs -consistency")
 )
 
 func main() {
 	flag.Parse()
 	specs := campaign.FuzzSweep(*seeds, *cpus, *messages)
+	if *consist || *obsOut != "" {
+		for i := range specs {
+			specs[i].Consistency = true
+		}
+	}
 	rep := campaign.Run(specs, campaign.Options{Workers: *workers, Trace: *trace != ""})
-	if err := rep.ExportFiles(*metrics, *trace); err != nil {
+	if err := rep.ExportFiles(*metrics, *trace, *obsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xgfuzz:", err)
 		os.Exit(campaign.ExitViolation)
 	}

@@ -12,13 +12,17 @@
 // Usage:
 //
 //	xgstress [-seeds N] [-stores N] [-cpus N] [-cores N] [-workers N] [-coverage]
-//	         [-metrics out.json] [-trace out.jsonl]
+//	         [-consistency] [-metrics out.json] [-trace out.jsonl] [-obs out.obs]
 //
 // -metrics exports the merged metrics registry (guard guarantee
 // outcomes, host state transitions, network occupancy, crossing
 // latency) as JSON; render it with cmd/xgreport. -trace exports every
-// shard's trace-ring tail as JSONL. Both files are byte-identical for a
-// fixed flag set regardless of -workers.
+// shard's trace-ring tail as JSONL. -consistency additionally records
+// every core's completed loads and stores and runs the offline
+// invariant checker (SWMR, data-value, write-serialization) over each
+// shard's history; -obs exports the recorded observation log for
+// cmd/xgcheck. All files are byte-identical for a fixed flag set
+// regardless of -workers.
 package main
 
 import (
@@ -37,15 +41,22 @@ var (
 	cores    = flag.Int("cores", 2, "accelerator cores")
 	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	coverage = flag.Bool("coverage", true, "print state/event coverage")
+	consist  = flag.Bool("consistency", false, "record per-core observations and run the offline invariant checker on every shard")
 	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file")
 	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
+	obsOut   = flag.String("obs", "", "write the recorded observation log (xgobs v1) to this file; needs -consistency")
 )
 
 func main() {
 	flag.Parse()
 	specs := campaign.StressSweep(*seeds, *cpus, *cores, *stores)
+	if *consist || *obsOut != "" {
+		for i := range specs {
+			specs[i].Consistency = true
+		}
+	}
 	rep := campaign.Run(specs, campaign.Options{Workers: *workers, Trace: *trace != ""})
-	if err := rep.ExportFiles(*metrics, *trace); err != nil {
+	if err := rep.ExportFiles(*metrics, *trace, *obsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "xgstress:", err)
 		os.Exit(campaign.ExitViolation)
 	}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"crossingguard/internal/coherence"
+	"crossingguard/internal/consistency"
 	"crossingguard/internal/obs"
 )
 
@@ -66,6 +67,9 @@ type Artifact struct {
 	Repro string
 	// TraceDump is the network trace tail, when tracing was enabled.
 	TraceDump string
+	// ObsDump is the observation tail, when the shard recorded
+	// consistency observations.
+	ObsDump string
 }
 
 // Report is the deterministic aggregate of a campaign.
@@ -164,10 +168,30 @@ func (r *Report) WriteTrace(w io.Writer) error {
 	return j.Flush()
 }
 
-// ExportFiles writes the metrics JSON and/or trace JSONL exports to the
-// given paths; an empty path skips that export. This is the shared
-// implementation behind the CLIs' -metrics and -trace flags.
-func (r *Report) ExportFiles(metricsPath, tracePath string) error {
+// WriteObs exports every recorded shard's observation stream as one
+// xgobs v1 log in shard-index order, each line tagged with its shard
+// index (the -obs flag; requires per-spec Consistency). cmd/xgcheck
+// reads the result. Output is byte-identical for a fixed shard set
+// regardless of worker count.
+func (r *Report) WriteObs(w io.Writer) error {
+	lw := consistency.NewLogWriter(w)
+	for i := range r.Shards {
+		s := &r.Shards[i]
+		if len(s.Recs) == 0 {
+			continue
+		}
+		if err := lw.Add(s.Spec.Index, s.Recs); err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}
+
+// ExportFiles writes the metrics JSON, trace JSONL, and/or observation
+// log exports to the given paths; an empty path skips that export. This
+// is the shared implementation behind the CLIs' -metrics, -trace, and
+// -obs flags.
+func (r *Report) ExportFiles(metricsPath, tracePath, obsPath string) error {
 	write := func(path string, fn func(io.Writer) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -187,6 +211,11 @@ func (r *Report) ExportFiles(metricsPath, tracePath string) error {
 	if tracePath != "" {
 		if err := write(tracePath, r.WriteTrace); err != nil {
 			return fmt.Errorf("campaign: writing trace: %w", err)
+		}
+	}
+	if obsPath != "" {
+		if err := write(obsPath, r.WriteObs); err != nil {
+			return fmt.Errorf("campaign: writing observation log: %w", err)
 		}
 	}
 	return nil
@@ -392,6 +421,7 @@ func aggregate(results []ShardResult, elapsed time.Duration, workers int) *Repor
 				Err:       s.Err.Error(),
 				Repro:     s.Spec.ReproCommand(),
 				TraceDump: s.TraceDump,
+				ObsDump:   s.ObsDump,
 			})
 		}
 	}

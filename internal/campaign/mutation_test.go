@@ -1,0 +1,140 @@
+package campaign
+
+// Mutation tests: prove the offline checker has teeth. An adversarial
+// accelerator corrupts data while inline value verification is OFF
+// (SkipValueChecks), so the run "passes" by the end-state audit and
+// liveness criteria — and the offline checker must still convict the
+// recorded history. A checker that cannot flag these mutants is
+// decorative.
+
+import (
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/consistency"
+)
+
+// runMutant runs one unchecked chaos shard (inline value checks off,
+// recording on) and returns the shard result plus the offline verdict.
+func runMutant(t *testing.T, host config.HostKind, model string, seed int64) (ShardResult, *consistency.Verdict) {
+	t.Helper()
+	spec := ShardSpec{
+		Kind: KindChaos, Host: host, Org: config.OrgXGFull1L, Seed: seed,
+		CPUs: 2, Model: model, Messages: 3000,
+		Consistency: true,
+		// CheckValues deliberately false: SkipValueChecks stays on and the
+		// campaign gate skips the offline check too — this test bypasses
+		// the gate and convicts the recorded history directly.
+	}
+	res := RunShard(spec, false)
+	if res.Err != nil {
+		t.Fatalf("%v/%s seed %d: inline run failed (%v); mutants must pass inline so only the checker can convict them", host, model, seed, res.Err)
+	}
+	if len(res.Recs) == 0 {
+		t.Fatalf("%v/%s seed %d: no observations recorded", host, model, seed)
+	}
+	return res, consistency.Check(res.Recs, consistency.Options{Workers: 1})
+}
+
+// TestOfflineCheckerConvictsStalewriter: the stalewriter adversary
+// scrambles writeback data. With value checks off the run completes
+// cleanly on both hosts; the offline checker must report a data-value
+// (or SWMR) violation from the history alone.
+func TestOfflineCheckerConvictsStalewriter(t *testing.T) {
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		t.Run(host.String(), func(t *testing.T) {
+			convicted := false
+			for seed := int64(1); seed <= 4 && !convicted; seed++ {
+				_, v := runMutant(t, host, "stalewriter", seed)
+				if v.OK() {
+					continue
+				}
+				convicted = true
+				first := v.First()
+				if first.Inv != consistency.InvDataValue && first.Inv != consistency.InvSWMR {
+					t.Errorf("seed %d: convicted via %v, want %v or %v:\n%s",
+						seed, first.Inv, consistency.InvDataValue, consistency.InvSWMR, v.Render())
+				}
+				t.Logf("seed %d: %v", seed, first)
+			}
+			if !convicted {
+				t.Fatal("offline checker never convicted the stalewriter mutant over seeds 1..4")
+			}
+		})
+	}
+}
+
+// TestOfflineCheckerConvictsSilent: the silent adversary acquires lines
+// and goes dark; after recall retries the guard substitutes safe data,
+// which loses the victim's stores — visible only in the history.
+func TestOfflineCheckerConvictsSilent(t *testing.T) {
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		t.Run(host.String(), func(t *testing.T) {
+			convicted := false
+			for seed := int64(1); seed <= 8 && !convicted; seed++ {
+				_, v := runMutant(t, host, "silent", seed)
+				if !v.OK() {
+					convicted = true
+					t.Logf("seed %d: %v", seed, v.First())
+				}
+			}
+			if !convicted {
+				t.Fatal("offline checker never convicted the silent mutant over seeds 1..8")
+			}
+		})
+	}
+}
+
+// TestSeededBugConvicted runs one clean stress shard per host, verifies
+// the recorded history passes, then seeds a classic lost-store bug into
+// the history (one late load rewritten to the initial value) and
+// requires a conviction at exactly that address. This is the
+// checker-regression canary: it fails if someone weakens the data-value
+// pass.
+func TestSeededBugConvicted(t *testing.T) {
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		t.Run(host.String(), func(t *testing.T) {
+			spec := ShardSpec{Kind: KindStress, Host: host, Org: config.OrgXGFull1L,
+				Seed: 1, CPUs: 2, Cores: 1, Stores: 10, Consistency: true}
+			res := RunShard(spec, false)
+			if res.Err != nil {
+				t.Fatalf("clean stress shard failed: %v", res.Err)
+			}
+			if v := consistency.Check(res.Recs, consistency.Options{Workers: 1}); !v.OK() {
+				t.Fatalf("clean history convicted: %v", v.First())
+			}
+
+			// Seed the bug: find a load of a nonzero value with a store to
+			// the same address completed strictly before it, and pretend
+			// that store's data was lost (the load returns the initial 0).
+			recs := append([]consistency.Rec(nil), res.Recs...)
+			bug := -1
+			for i := len(recs) - 1; i >= 0 && bug < 0; i-- {
+				r := recs[i]
+				if r.Op != consistency.OpLoad || r.Val == 0 {
+					continue
+				}
+				for _, s := range recs {
+					if s.Op == consistency.OpStore && s.Addr == r.Addr && s.Done < r.Issued {
+						bug = i
+						break
+					}
+				}
+			}
+			if bug < 0 {
+				t.Fatal("no seedable load in the recorded history")
+			}
+			recs[bug].Val = 0
+			v := consistency.Check(recs, consistency.Options{Workers: 1})
+			if v.OK() {
+				t.Fatalf("seeded lost-store bug at %v not convicted", recs[bug].Addr)
+			}
+			if v.First().Addr != recs[bug].Addr {
+				t.Fatalf("convicted at %v, bug seeded at %v:\n%s", v.First().Addr, recs[bug].Addr, v.Render())
+			}
+			if v.First().Inv != consistency.InvDataValue {
+				t.Fatalf("seeded bug classified %v, want %v", v.First().Inv, consistency.InvDataValue)
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/consistency"
+)
+
+// TestObsExportDeterministicAcrossWorkers extends the campaign's
+// byte-identity guarantee to the observation log: the -obs export for a
+// fixed recorded shard set must not depend on the worker count.
+func TestObsExportDeterministicAcrossWorkers(t *testing.T) {
+	specs := smallSweep()
+	for i := range specs {
+		specs[i].Consistency = true
+	}
+	var baseline []byte
+	for _, workers := range []int{1, 4} {
+		rep := Run(specs, Options{Workers: workers})
+		if rep.Failures() != 0 {
+			t.Fatalf("workers=%d: clean sweep failed: %+v", workers, rep.Artifacts)
+		}
+		for i := range rep.Shards {
+			if len(rep.Shards[i].Recs) == 0 {
+				t.Fatalf("workers=%d: shard %d recorded nothing", workers, i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteObs(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = buf.Bytes()
+			// The export must parse back into one group per shard.
+			shards, err := consistency.ReadLog(bytes.NewReader(baseline))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(shards) != len(specs) {
+				t.Fatalf("obs log has %d shards, want %d", len(shards), len(specs))
+			}
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), baseline) {
+			t.Fatalf("workers=%d: observation log differs from workers=1", workers)
+		}
+	}
+}
+
+// TestFailingRecordedShardEmbedsObsTail: a recorded shard that fails
+// must carry the observation tail next to the trace tail so the
+// artifact shows what the cores actually observed.
+func TestFailingRecordedShardEmbedsObsTail(t *testing.T) {
+	bad := ShardSpec{Kind: KindFuzz, Host: config.HostHammer, Org: config.OrgXGFull1L,
+		Seed: 1, CPUs: 2, Messages: 500, CheckValues: true, Consistency: true}
+	rep := Run([]ShardSpec{bad}, Options{Workers: 1})
+	if rep.Failures() != 1 {
+		t.Fatalf("expected 1 failure, got %d", rep.Failures())
+	}
+	art := rep.Artifacts[0]
+	if !strings.Contains(art.ObsDump, "observation tail") {
+		t.Fatalf("failure artifact missing observation tail:\n%q", art.ObsDump)
+	}
+}

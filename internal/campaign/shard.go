@@ -9,6 +9,7 @@ import (
 	"crossingguard/internal/accel"
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/config"
+	"crossingguard/internal/consistency"
 	"crossingguard/internal/faults"
 	"crossingguard/internal/fuzz"
 	"crossingguard/internal/hostproto/hammer"
@@ -77,6 +78,15 @@ type ShardSpec struct {
 	// "buggy accelerator under stress" demonstration.
 	CheckValues bool
 
+	// Consistency enables per-core observation recording plus the
+	// offline invariant check after the run. The check is applied only
+	// where inline value verification would be on too (stress always;
+	// fuzz/chaos when Confined or CheckValues): an unconfined adversary
+	// may legitimately write garbage to shared lines, and the checker —
+	// which sees only sequencer-level observations — cannot tell that
+	// sanctioned corruption from a guard bug.
+	Consistency bool
+
 	// Model names the adversarial accelerator for chaos shards (one of
 	// accel.AllAdvModels' spec names).
 	Model string
@@ -124,6 +134,13 @@ type ShardResult struct {
 	// captured when tracing was enabled; the aggregator renders them as
 	// JSONL in shard-index order.
 	Events []obs.Event
+	// Recs is the merged observation stream (Spec.Consistency shards
+	// only), in canonical order; the aggregator exports it via the -obs
+	// flag in shard-index order.
+	Recs []consistency.Rec
+	// ObsDump is the rendered observation tail, captured alongside
+	// TraceDump when a recorded shard fails.
+	ObsDump string
 }
 
 // hostView narrows a fuzzed system for the stress tester: drive the CPUs
@@ -175,7 +192,8 @@ func RunShard(spec ShardSpec, trace bool) ShardResult {
 func runStressShard(res *ShardResult, trace bool) {
 	spec := res.Spec
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
-		CPUs: spec.CPUs, AccelCores: spec.Cores, Seed: spec.Seed * 97, Small: true})
+		CPUs: spec.CPUs, AccelCores: spec.Cores, Seed: spec.Seed * 97, Small: true,
+		Consistency: newRecorder(spec)})
 	var ring *obs.Ring
 	if trace {
 		ring = obs.NewRing(4000)
@@ -193,6 +211,7 @@ func runStressShard(res *ShardResult, trace bool) {
 	if res.Err == nil && sys.Log.Count() != 0 {
 		res.Err = fmt.Errorf("protocol errors reported: %v", sys.Log.Errors[0])
 	}
+	finishConsistency(res, sys.Consistency, true)
 	if res.Err == nil {
 		recordCoverage(sys, res.Cov)
 	}
@@ -201,6 +220,35 @@ func runStressShard(res *ShardResult, trace bool) {
 		if res.Err != nil {
 			res.TraceDump = ring.Dump()
 		}
+	}
+}
+
+// newRecorder returns the observation recorder for a shard, nil unless
+// the spec asks for consistency recording.
+func newRecorder(spec ShardSpec) *consistency.Recorder {
+	if !spec.Consistency {
+		return nil
+	}
+	return consistency.NewRecorder()
+}
+
+// finishConsistency merges a recorded shard's observation streams, runs
+// the offline checker (when checked — see ShardSpec.Consistency for the
+// gating rule), and captures the observation tail next to the trace
+// tail when the shard failed. Workers is pinned to 1: shards already
+// run one per goroutine across the campaign pool.
+func finishConsistency(res *ShardResult, rec *consistency.Recorder, checked bool) {
+	if rec == nil {
+		return
+	}
+	res.Recs = rec.Merged()
+	if res.Err == nil && checked {
+		if v := consistency.Check(res.Recs, consistency.Options{Workers: 1}); !v.OK() {
+			res.Err = fmt.Errorf("offline consistency check: %v", v.First())
+		}
+	}
+	if res.Err != nil {
+		res.ObsDump = consistency.Tail(res.Recs, 40)
 	}
 }
 
@@ -214,7 +262,7 @@ func runFuzzShard(res *ShardResult, trace bool) {
 	var att *fuzz.Attacker
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
 		CPUs: spec.CPUs, AccelCores: 1, Seed: spec.Seed * 61, Small: true,
-		Timeout: 5000, Perms: perms,
+		Timeout: 5000, Perms: perms, Consistency: newRecorder(spec),
 		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
 			att = fuzz.NewAttacker(accelID, xgID, s.Eng, s.Fab, spec.Seed*67, fuzzPool(base))
 			att.Policy = fuzz.InvRandom
@@ -240,6 +288,7 @@ func runFuzzShard(res *ShardResult, trace bool) {
 	for code, n := range sys.Log.ByCode {
 		res.ByCode[code] += n
 	}
+	finishConsistency(res, sys.Consistency, spec.Confined || spec.CheckValues)
 	if res.Err == nil {
 		recordCoverage(sys, res.Cov)
 	}
@@ -275,7 +324,7 @@ func runChaosShard(res *ShardResult, trace bool) {
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
 		CPUs: spec.CPUs, AccelCores: 1, Seed: spec.Seed * 41, Small: true,
 		Timeout: 2000, RecallRetries: 2, QuarantineAfter: 25,
-		Perms: perms, Faults: &plan,
+		Perms: perms, Faults: &plan, Consistency: newRecorder(spec),
 		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
 			adv = accel.NewAdversary(accelID, xgID, s.Eng, s.Fab, accel.AdvConfig{
 				Model: model, Seed: spec.Seed * 43, Pool: fuzzPool(base),
@@ -292,7 +341,10 @@ func runChaosShard(res *ShardResult, trace bool) {
 	cfg.StoresPerLoc = 25
 	cfg.BaseAddr = base
 	cfg.Deadline = 200_000_000
-	cfg.SkipValueChecks = !spec.Confined
+	// checked=1 keeps value verification on even against an unconfined
+	// adversary — the deliberately-failing demonstration shards the
+	// minimizer's tests and docs shrink.
+	cfg.SkipValueChecks = !spec.Confined && !spec.CheckValues
 	res.Res, res.Err = tester.Run(hostView{sys}, cfg)
 	res.Obs = sys.Obs
 	res.Sent = adv.Sent
@@ -308,6 +360,7 @@ func runChaosShard(res *ShardResult, trace bool) {
 	for code, n := range sys.Log.ByCode {
 		res.ByCode[code] += n
 	}
+	finishConsistency(res, sys.Consistency, spec.Confined || spec.CheckValues)
 	if res.Err == nil {
 		recordCoverage(sys, res.Cov)
 	}
@@ -391,6 +444,12 @@ func FormatSpec(s ShardSpec) string {
 		if s.Confined {
 			parts = append(parts, "confined=1")
 		}
+		if s.CheckValues {
+			parts = append(parts, "checked=1")
+		}
+	}
+	if s.Consistency {
+		parts = append(parts, "consistency=1")
 	}
 	return strings.Join(parts, " ")
 }
@@ -469,6 +528,8 @@ func ParseSpec(text string) (ShardSpec, error) {
 			spec.Confined = v == "1" || v == "true"
 		case "checked":
 			spec.CheckValues = v == "1" || v == "true"
+		case "consistency":
+			spec.Consistency = v == "1" || v == "true"
 		case "model":
 			if _, err := accel.ParseAdvModel(v); err != nil {
 				return spec, err

@@ -1,0 +1,132 @@
+package campaign
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/tester"
+)
+
+// failingChaosSpec is the canonical deliberately-failing shard the docs
+// shrink: a stalewriter adversary with value verification kept on.
+func failingChaosSpec(host config.HostKind) ShardSpec {
+	return ShardSpec{
+		Kind: KindChaos, Host: host, Org: config.OrgXGFull1L, Seed: 1,
+		CPUs: 2, Model: "stalewriter", Messages: 3000, CheckValues: true,
+	}
+}
+
+func TestShrinkFindsMinimalFailingSpec(t *testing.T) {
+	res, err := Shrink(failingChaosSpec(config.HostHammer), ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OriginalErr == "" || res.MinimalErr == "" {
+		t.Fatalf("missing failure messages: %+v", res)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("shrink adopted no reductions on a 3000-message shard")
+	}
+	min := res.Minimal
+	if min.Messages >= 3000 || min.CPUs > 2 {
+		t.Fatalf("barely shrunk: %s", FormatSpec(min))
+	}
+	// The minimal spec must fail on its own, exactly as returned.
+	rerun := RunShard(min, false)
+	if rerun.Err == nil {
+		t.Fatalf("minimal spec %q does not fail on re-run", FormatSpec(min))
+	}
+	if rerun.Err.Error() != res.MinimalErr {
+		t.Fatalf("minimal failure drifted: shrink saw %q, re-run saw %q", res.MinimalErr, rerun.Err.Error())
+	}
+}
+
+// TestShrinkDeterministic is the minimizer's regression gate: shrinking
+// the same failing spec twice must take the same path and land on
+// byte-identical minimal specs and step lists.
+func TestShrinkDeterministic(t *testing.T) {
+	spec := failingChaosSpec(config.HostHammer)
+	a, err := Shrink(spec, ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shrink(spec, ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatSpec(a.Minimal) != FormatSpec(b.Minimal) {
+		t.Fatalf("minimal specs diverged:\n%s\nvs\n%s", FormatSpec(a.Minimal), FormatSpec(b.Minimal))
+	}
+	if !reflect.DeepEqual(a.Steps, b.Steps) {
+		t.Fatalf("shrink paths diverged:\n%v\nvs\n%v", a.Steps, b.Steps)
+	}
+	if a.Runs != b.Runs || a.MinimalErr != b.MinimalErr {
+		t.Fatalf("shrink accounting diverged: runs %d/%d, err %q/%q", a.Runs, b.Runs, a.MinimalErr, b.MinimalErr)
+	}
+}
+
+func TestShrinkRejectsPassingSpec(t *testing.T) {
+	spec := failingChaosSpec(config.HostHammer)
+	spec.CheckValues = false // unchecked stalewriter shards pass
+	if _, err := Shrink(spec, ShrinkOptions{}); err == nil {
+		t.Fatal("Shrink accepted a passing spec")
+	}
+}
+
+func TestShrinkRejectsCustomShard(t *testing.T) {
+	spec := ShardSpec{Custom: func(bool) (tester.System, tester.Config) { return nil, tester.Config{} }}
+	if _, err := Shrink(spec, ShrinkOptions{}); err == nil {
+		t.Fatal("Shrink accepted a custom shard")
+	}
+}
+
+func TestShrinkBudgetStillReturnsFailingSpec(t *testing.T) {
+	// With a budget too small to finish the search, the result must
+	// still be a verified failing spec (conservatism: untried candidates
+	// count as non-reproducing).
+	res, err := Shrink(failingChaosSpec(config.HostHammer), ShrinkOptions{MaxRuns: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun := RunShard(res.Minimal, false); rerun.Err == nil {
+		t.Fatalf("budget-capped minimal spec %q does not fail", FormatSpec(res.Minimal))
+	}
+}
+
+// TestMinimalSpecFailsOnBuiltBinary shrinks the canonical failing shard
+// and replays the minimal spec through the real xgcampaign binary,
+// asserting the documented failure exit code (1). This pins the whole
+// artifact chain: shrink output -> repro string -> CLI parse -> exit
+// code contract.
+func TestMinimalSpecFailsOnBuiltBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	res, err := Shrink(failingChaosSpec(config.HostHammer), ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "xgcampaign")
+	build := exec.Command("go", "build", "-o", bin, "crossingguard/cmd/xgcampaign")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building xgcampaign: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-repro", FormatSpec(res.Minimal))
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("repro of minimal spec did not exit with an error (err=%v):\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != ExitViolation {
+		t.Fatalf("repro exit code = %d, want %d (documented violation code):\n%s", code, ExitViolation, out)
+	}
+	if !strings.Contains(string(out), "FAIL (reproduced)") {
+		t.Fatalf("repro output missing failure banner:\n%s", out)
+	}
+}

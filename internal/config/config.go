@@ -11,6 +11,7 @@ import (
 
 	"crossingguard/internal/accel"
 	"crossingguard/internal/coherence"
+	"crossingguard/internal/consistency"
 	"crossingguard/internal/core"
 	"crossingguard/internal/faults"
 	"crossingguard/internal/hostproto/hammer"
@@ -151,6 +152,12 @@ type Spec struct {
 	// organization (needed when a Transactional guard is attached after
 	// Build, as in the multi-device builder).
 	ForceTxnMods bool
+	// Consistency, when set, attaches one observation stream per
+	// sequencer (CPU cores first, then accelerator cores, matching
+	// Sequencers() order): every completed load and store is recorded
+	// for the offline invariant checker. Nil (the default) keeps the
+	// sequencer completion path record-free.
+	Consistency *consistency.Recorder
 	// Obs, when set, is used as the machine's metrics registry instead
 	// of a fresh one — callers running several machines sequentially
 	// (cmd/xgsim's sweep) can accumulate into a single registry. Build
@@ -183,6 +190,10 @@ type System struct {
 	CPUSeqs   []*seq.Sequencer
 	AccelSeqs []*seq.Sequencer
 	Guards    []*core.Guard
+
+	// Consistency is the observation recorder installed by
+	// Spec.Consistency (nil when the machine runs unrecorded).
+	Consistency *consistency.Recorder
 
 	// Faults is the fault injector installed by Spec.Faults (nil when the
 	// machine runs clean); callers read its per-kind injection counts.
@@ -251,6 +262,12 @@ func Build(spec Spec) *System {
 		}
 		fab.SetInterceptor(inj)
 		s.Faults = inj
+	}
+	if spec.Consistency != nil {
+		s.Consistency = spec.Consistency
+		for i, sq := range s.Sequencers() {
+			sq.Rec = spec.Consistency.Stream(i, sq.Name())
+		}
 	}
 	return s
 }

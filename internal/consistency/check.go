@@ -1,0 +1,323 @@
+// The offline axiomatic checker. Given the merged observation streams
+// of one run, Check verifies three per-location invariants over the
+// happens-before order "A.Done < B.Issued" (completion ticks plus
+// per-core program order, which per-line sequencers already linearize):
+//
+//   - data-value: every load returns the value of a most-recent store —
+//     a store that completed before the load and was not superseded by
+//     another store that also completed before the load, or a store
+//     concurrent with the load, or the initial zero when no store
+//     completed first.
+//   - swmr (single-writer/multiple-reader, observed form): two loads
+//     whose windows overlap, with no store concurrent with either, must
+//     observe the same value — with no writer active, the location has
+//     one value.
+//   - write-serialization: loads ordered by happens-before must observe
+//     stores in a consistent order; a later load may not observe a
+//     store that an earlier load already proved overwritten.
+//
+// All comparisons are strict: two operations meeting at the same tick
+// are treated as concurrent, never ordered. That costs a little
+// detection power at tick boundaries but makes the checker sound — it
+// can flag only executions no sequentially-consistent memory could
+// produce, so a reported violation is always real.
+package consistency
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"crossingguard/internal/mem"
+	"crossingguard/internal/sim"
+)
+
+// Invariant names one of the three checked axioms.
+type Invariant string
+
+const (
+	// InvDataValue is violated when a load observes a value other than
+	// the most recent store in happens-before order.
+	InvDataValue Invariant = "data-value"
+	// InvSWMR is violated when overlapping stable reads of one block
+	// disagree — a write raced a reader that should have been excluded.
+	InvSWMR Invariant = "swmr"
+	// InvWriteSer is violated when two cores observe two stores to one
+	// block in opposite orders.
+	InvWriteSer Invariant = "write-serialization"
+)
+
+// Violation is one violating edge: B is the observation that broke the
+// invariant, A is the record it conflicts with (the store it should
+// have observed, or the earlier load it disagrees with).
+type Violation struct {
+	Inv    Invariant
+	Addr   mem.Addr
+	A, B   Rec
+	Detail string
+}
+
+// String renders the violation as one deterministic report line.
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s @%v: %s vs %s: %s", v.Inv, v.Addr, fmtRec(v.A), fmtRec(v.B), v.Detail)
+}
+
+func fmtRec(r Rec) string {
+	return fmt.Sprintf("[core %d %s=0x%02x t=%d..%d]", r.Core, r.Op, r.Val, r.Issued, r.Done)
+}
+
+// Options configures a check.
+type Options struct {
+	// Workers bounds the per-location parallelism; <= 0 means
+	// GOMAXPROCS. The verdict is byte-identical for any value: locations
+	// are checked independently and results merged in address order.
+	Workers int
+}
+
+// Verdict is the deterministic result of checking one run's records.
+type Verdict struct {
+	Records   int
+	Stores    int
+	Loads     int
+	Verifies  int
+	Locations int
+	// Violations holds the first violating edge of every violating
+	// location, in ascending address order.
+	Violations []*Violation
+}
+
+// OK reports a clean history.
+func (v *Verdict) OK() bool { return len(v.Violations) == 0 }
+
+// First returns the lowest-addressed violation, or nil.
+func (v *Verdict) First() *Violation {
+	if len(v.Violations) == 0 {
+		return nil
+	}
+	return v.Violations[0]
+}
+
+// Render returns the full deterministic report: one summary line plus
+// one line per violation. Byte-identical across Workers values.
+func (v *Verdict) Render() string {
+	var b strings.Builder
+	status := "PASS"
+	if !v.OK() {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "%s: %d records (%d stores, %d loads, %d verifies) over %d locations, %d violations\n",
+		status, v.Records, v.Stores, v.Loads, v.Verifies, v.Locations, len(v.Violations))
+	for _, viol := range v.Violations {
+		fmt.Fprintf(&b, "  %v\n", viol)
+	}
+	return b.String()
+}
+
+// Check verifies the three invariants over recs (any order; Check sorts
+// a copy into canonical order first). Each byte location is checked
+// independently; the verdict lists the first violating edge per
+// violating location, in address order.
+func Check(recs []Rec, opt Options) *Verdict {
+	sorted := make([]Rec, len(recs))
+	copy(sorted, recs)
+	SortRecs(sorted)
+
+	v := &Verdict{Records: len(sorted)}
+	byLoc := map[mem.Addr][]Rec{}
+	var addrs []mem.Addr
+	for _, r := range sorted {
+		switch r.Op {
+		case OpStore:
+			v.Stores++
+		case OpLoad:
+			v.Loads++
+		case OpVerify:
+			v.Verifies++
+		}
+		if _, ok := byLoc[r.Addr]; !ok {
+			addrs = append(addrs, r.Addr)
+		}
+		byLoc[r.Addr] = append(byLoc[r.Addr], r)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	v.Locations = len(addrs)
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(addrs) {
+		workers = len(addrs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	found := make([]*Violation, len(addrs))
+	if workers == 1 {
+		for i, addr := range addrs {
+			found[i] = checkLocation(addr, byLoc[addr])
+		}
+	} else {
+		next := make(chan int, len(addrs))
+		for i := range addrs {
+			next <- i
+		}
+		close(next)
+		done := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range next {
+					found[i] = checkLocation(addrs[i], byLoc[addrs[i]])
+				}
+				done <- struct{}{}
+			}()
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+	}
+	for _, viol := range found {
+		if viol != nil {
+			v.Violations = append(v.Violations, viol)
+		}
+	}
+	return v
+}
+
+// hb reports A happens-before B: strictly completed before B issued.
+func hb(a, b Rec) bool { return a.Done < b.Issued }
+
+// concurrent reports overlapping windows (neither ordered before the
+// other). Equal-tick meetings count as concurrent (strict comparisons).
+func concurrent(a, b Rec) bool { return !hb(a, b) && !hb(b, a) }
+
+// checkLocation runs all three invariants over one location's records
+// (in canonical merged order) and returns the first violating edge, in
+// a fixed check order: data-value scanning reads in merged order, then
+// swmr over read pairs, then write-serialization over hb-ordered read
+// pairs. O(reads x stores) — locations see at most a few hundred
+// records each.
+func checkLocation(addr mem.Addr, recs []Rec) *Violation {
+	var stores, reads []Rec
+	for _, r := range recs {
+		if r.Op == OpStore {
+			stores = append(stores, r)
+		} else {
+			reads = append(reads, r)
+		}
+	}
+
+	// Per-read explanation summary, filled by the data-value pass and
+	// reused by write-serialization: the candidate set C(r) is every
+	// store that could legally explain read r (matching value, and
+	// either completed-before-r without an interposing completed store,
+	// or concurrent with r). A read's actually-observed store is always
+	// in its candidate set, so bounds over C(r) are bounds over every
+	// legal explanation.
+	hasCand := make([]bool, len(reads))
+	zeroOK := make([]bool, len(reads))
+	candMaxDone := make([]sim.Time, len(reads))
+	candMinIssued := make([]sim.Time, len(reads))
+
+	for i, rd := range reads {
+		latest := -1 // latest completed, unsuperseded store (for the report)
+		sawCompleted := false
+		for si, st := range stores {
+			if hb(st, rd) {
+				sawCompleted = true
+				superseded := false
+				for _, st2 := range stores {
+					if hb(st, st2) && hb(st2, rd) {
+						superseded = true
+						break
+					}
+				}
+				if superseded {
+					continue
+				}
+				latest = si
+			} else if !concurrent(st, rd) {
+				continue // store entirely after the read: not a candidate
+			}
+			// st is a candidate: completed-and-unsuperseded, or concurrent.
+			if st.Val != rd.Val {
+				continue
+			}
+			if !hasCand[i] || st.Done > candMaxDone[i] {
+				candMaxDone[i] = st.Done
+			}
+			if !hasCand[i] || st.Issued < candMinIssued[i] {
+				candMinIssued[i] = st.Issued
+			}
+			hasCand[i] = true
+		}
+		zeroOK[i] = rd.Val == 0 && !sawCompleted
+		if hasCand[i] || zeroOK[i] {
+			continue
+		}
+		a := Rec{Addr: addr}
+		detail := "no store ever wrote this value here"
+		if latest >= 0 {
+			a = stores[latest]
+			detail = fmt.Sprintf("observed 0x%02x but the most recent completed store wrote 0x%02x", rd.Val, a.Val)
+		} else if len(stores) > 0 {
+			a = stores[0]
+			detail = fmt.Sprintf("observed 0x%02x before any store of that value completed", rd.Val)
+		}
+		return &Violation{Inv: InvDataValue, Addr: addr, A: a, B: rd, Detail: detail}
+	}
+
+	// swmr: overlapping reads with no writer active must agree.
+	stable := make([]bool, len(reads))
+	for i, rd := range reads {
+		stable[i] = true
+		for _, st := range stores {
+			if concurrent(st, rd) {
+				stable[i] = false
+				break
+			}
+		}
+	}
+	for i := 0; i < len(reads); i++ {
+		if !stable[i] {
+			continue
+		}
+		for j := i + 1; j < len(reads); j++ {
+			if !stable[j] || !concurrent(reads[i], reads[j]) {
+				continue
+			}
+			if reads[i].Val != reads[j].Val {
+				return &Violation{Inv: InvSWMR, Addr: addr, A: reads[i], B: reads[j],
+					Detail: fmt.Sprintf("overlapping reads with no writer active observed 0x%02x and 0x%02x", reads[i].Val, reads[j].Val)}
+			}
+		}
+	}
+
+	// write-serialization: along happens-before chains of reads, the
+	// observed store order never moves backwards. The check is
+	// deliberately conservative so it stays sound: read j (after read i)
+	// violates serialization only when every store that could explain j
+	// completes strictly before every store that could explain i begins
+	// — then any legal explanation has j observing a store serialized
+	// before i's, while j read strictly after i. Reads explainable by
+	// the initial zero constrain nothing as the earlier edge; as the
+	// later edge, a zero-only read after a store-explained read is a
+	// lost store.
+	for i := 0; i < len(reads); i++ {
+		if zeroOK[i] || !hasCand[i] {
+			continue
+		}
+		for j := 0; j < len(reads); j++ {
+			if !hb(reads[i], reads[j]) {
+				continue
+			}
+			if !hasCand[j] || candMaxDone[j] < candMinIssued[i] {
+				return &Violation{Inv: InvWriteSer, Addr: addr, A: reads[i], B: reads[j],
+					Detail: fmt.Sprintf("later read observed 0x%02x, serialized strictly before the 0x%02x an earlier read returned", reads[j].Val, reads[i].Val)}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+// Observation-log I/O: the "xgobs v1" line format written by the
+// campaign CLIs' -obs flag and read back by cmd/xgcheck. The format is
+// line-oriented and hand-rolled like the obs JSONL exporter: fixed
+// field order, no maps, no reflection, so a given record set always
+// renders to identical bytes.
+package consistency
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"crossingguard/internal/mem"
+	"crossingguard/internal/sim"
+)
+
+// logHeader is the first line of every observation log.
+const logHeader = "# xgobs v1"
+
+// logColumns documents the field order of every record line.
+const logColumns = "# shard core op addr val issued done"
+
+// WriteLog writes recs as one xgobs v1 log, every line tagged with the
+// given shard index. Records are written in the order given (callers
+// pass Recorder.Merged() or another canonical order).
+func WriteLog(w io.Writer, shard int, recs []Rec) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, logHeader)
+	fmt.Fprintln(bw, logColumns)
+	if err := writeShard(bw, shard, recs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeShard appends record lines without a header (the multi-shard
+// exporter in the campaign package writes one header then appends every
+// shard in index order).
+func writeShard(w io.Writer, shard int, recs []Rec) error {
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(w, "%d %d %s 0x%x 0x%02x %d %d\n",
+			shard, r.Core, r.Op, uint64(r.Addr), r.Val, uint64(r.Issued), uint64(r.Done)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogWriter streams a multi-shard observation log: one header, then
+// each shard's records appended in the order Add is called.
+type LogWriter struct {
+	bw     *bufio.Writer
+	header bool
+}
+
+// NewLogWriter returns a writer targeting w.
+func NewLogWriter(w io.Writer) *LogWriter { return &LogWriter{bw: bufio.NewWriter(w)} }
+
+// Add appends one shard's records (header is written on first use).
+func (lw *LogWriter) Add(shard int, recs []Rec) error {
+	if !lw.header {
+		fmt.Fprintln(lw.bw, logHeader)
+		fmt.Fprintln(lw.bw, logColumns)
+		lw.header = true
+	}
+	return writeShard(lw.bw, shard, recs)
+}
+
+// Flush completes the log.
+func (lw *LogWriter) Flush() error {
+	if !lw.header {
+		fmt.Fprintln(lw.bw, logHeader)
+		fmt.Fprintln(lw.bw, logColumns)
+		lw.header = true
+	}
+	return lw.bw.Flush()
+}
+
+// ShardRecs is one shard's slice of a parsed observation log.
+type ShardRecs struct {
+	Shard int
+	Recs  []Rec
+}
+
+// ReadLog parses an xgobs v1 log and returns the records grouped by
+// shard index, shards in ascending order, records in file order within
+// each shard.
+func ReadLog(r io.Reader) ([]ShardRecs, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	byShard := map[int][]Rec{}
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if lineNo == 1 {
+				if line != logHeader {
+					return nil, fmt.Errorf("consistency: not an observation log (got %q, want %q)", line, logHeader)
+				}
+				sawHeader = true
+			}
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("consistency: line %d: missing %q header", lineNo, logHeader)
+		}
+		f := strings.Fields(line)
+		if len(f) != 7 {
+			return nil, fmt.Errorf("consistency: line %d: want 7 fields, got %d", lineNo, len(f))
+		}
+		shard, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("consistency: line %d: bad shard %q", lineNo, f[0])
+		}
+		core, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("consistency: line %d: bad core %q", lineNo, f[1])
+		}
+		op, ok := ParseOp(f[2])
+		if !ok {
+			return nil, fmt.Errorf("consistency: line %d: bad op %q", lineNo, f[2])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(f[3], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("consistency: line %d: bad addr %q", lineNo, f[3])
+		}
+		val, err := strconv.ParseUint(strings.TrimPrefix(f[4], "0x"), 16, 8)
+		if err != nil {
+			return nil, fmt.Errorf("consistency: line %d: bad val %q", lineNo, f[4])
+		}
+		issued, err := strconv.ParseUint(f[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("consistency: line %d: bad issued %q", lineNo, f[5])
+		}
+		done, err := strconv.ParseUint(f[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("consistency: line %d: bad done %q", lineNo, f[6])
+		}
+		byShard[shard] = append(byShard[shard], Rec{
+			Issued: sim.Time(issued), Done: sim.Time(done),
+			Addr: mem.Addr(addr), Core: int32(core), Op: op, Val: byte(val),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("consistency: reading log: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("consistency: empty input (no %q header)", logHeader)
+	}
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	out := make([]ShardRecs, 0, len(shards))
+	for _, s := range shards {
+		out = append(out, ShardRecs{Shard: s, Recs: byShard[s]})
+	}
+	return out, nil
+}
+
+// Tail renders the last n records of recs as human-readable lines, the
+// observation analogue of the trace-ring tail embedded in campaign
+// failure artifacts.
+func Tail(recs []Rec, n int) string {
+	if n <= 0 || len(recs) == 0 {
+		return ""
+	}
+	start := 0
+	if len(recs) > n {
+		start = len(recs) - n
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- observation tail (last %d of %d records) ---\n", len(recs)-start, len(recs))
+	for _, r := range recs[start:] {
+		fmt.Fprintf(&b, "t=%d..%d core=%d %s %v = 0x%02x\n",
+			uint64(r.Issued), uint64(r.Done), r.Core, r.Op, r.Addr, r.Val)
+	}
+	return b.String()
+}

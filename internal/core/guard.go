@@ -330,9 +330,16 @@ func (g *Guard) enterQuarantine(addr mem.Addr) {
 	}
 }
 
-// answerFromTrusted completes a recall on the accelerator's behalf using
-// the guard's trusted copy when Full State kept one, or a zero block
-// otherwise (the Guarantee 2c substitution).
+// answerFromTrusted completes a recall on the accelerator's behalf: the
+// guard's trusted copy when Full State kept one, a zero-block writeback
+// when the guard knows the accelerator owned the block (the Guarantee 2c
+// substitution), and a plain ack otherwise. The last case matters for
+// Transactional guards, whose view is Unknown: answering without data
+// lets the host serve its own — possibly stale — copy, which 2c
+// sanctions, whereas injecting dirty zeros for a block the accelerator
+// held at most shared would trample the live host owner's data (on
+// broadcast hosts the requestor receives both "owners'" responses and
+// may adopt the zeros).
 func (g *Guard) answerFromTrusted(addr mem.Addr, ht *hostTxn) {
 	if !ht.wantData {
 		ht.done(nil, false, false)
@@ -342,7 +349,11 @@ func (g *Guard) answerFromTrusted(addr mem.Addr, ht *hostTxn) {
 		ht.done(e.copy.Copy(), e.dirty, false)
 		return
 	}
-	ht.done(mem.Zero(), true, false)
+	if ht.known {
+		ht.done(mem.Zero(), true, false)
+		return
+	}
+	ht.done(nil, false, false)
 }
 
 // --- accelerator requests (GetS, GetM, PutM, PutE, PutS) ---

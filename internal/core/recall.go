@@ -73,7 +73,8 @@ func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem
 	// without sending an Invalidate or arming a watchdog.
 	if g.Quarantined {
 		g.obsReg.Counter("guard.quarantine.recalls").Inc()
-		ht := &hostTxn{wantData: expect.owned() || expect == viewUnknown, done: done, closed: true}
+		ht := newHostTxn(expect, done)
+		ht.closed = true
 		g.answerFromTrusted(addr, ht)
 		if g.table != nil {
 			g.table.drop(addr)
@@ -91,25 +92,29 @@ func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem
 		done(data, dirty, true)
 		return
 	}
-	ht := &hostTxn{wantData: expect.owned() || expect == viewUnknown, done: done}
-	switch expect {
-	case viewE, viewM:
-		ht.known = true
-		if expect == viewE {
-			ht.expect = GrantE
-		} else {
-			ht.expect = GrantM
-		}
-	case viewS:
-		ht.known = true
-		ht.expect = GrantS
-	}
+	ht := newHostTxn(expect, done)
 	g.hosts[addr] = ht
 	g.SnoopsForwarded++
 	g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false) })
 	if g.cfg.Timeout > 0 {
 		g.armRecallWatchdog(addr, ht, g.cfg.Timeout, 0)
 	}
+}
+
+// newHostTxn builds a recall transaction from the guard's view of the
+// accelerator's copy: the view fixes whether data is expected back and,
+// when definite, the grant level responses are validated against.
+func newHostTxn(expect viewState, done func(data *mem.Block, dirty bool, viaPut bool)) *hostTxn {
+	ht := &hostTxn{wantData: expect.owned() || expect == viewUnknown, done: done}
+	switch expect {
+	case viewE:
+		ht.known, ht.expect = true, GrantE
+	case viewM:
+		ht.known, ht.expect = true, GrantM
+	case viewS:
+		ht.known, ht.expect = true, GrantS
+	}
+	return ht
 }
 
 // armRecallWatchdog schedules the Guarantee 2c deadline for one recall.

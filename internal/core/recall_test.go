@@ -174,19 +174,31 @@ func TestQuarantineNacksFurtherRequests(t *testing.T) {
 }
 
 // A recall against a quarantined accelerator is answered immediately from
-// trusted state: no Invalidate on the wire, no watchdog, no timeout.
+// trusted state: no Invalidate on the wire, no watchdog, no timeout. The
+// substitution depends on the guard's view: a known owner gets the 2c
+// zero-block writeback; an Unknown view (Transactional) gets a plain
+// ack, so the host serves its own copy instead of adopting dirty zeros
+// for a block the accelerator may have held only shared.
 func TestQuarantineRecallServedFromTrustedState(t *testing.T) {
 	r := newRecallRig(FullState, Config{Timeout: 1000, GuardLat: 1, QuarantineAfter: 2})
 	tripQuarantine(t, r, 2)
 	sent := len(r.accel.got)
 	calls := 0
 	var gotData *mem.Block
-	r.g.startRecall(0x40, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) {
+	gotDirty := false
+	r.g.startRecall(0x40, viewM, func(data *mem.Block, dirty bool, viaPut bool) {
 		calls++
-		gotData = data
+		gotData, gotDirty = data, dirty
 	})
-	if calls != 1 || gotData == nil {
-		t.Fatalf("recall not answered synchronously (calls=%d data=%v)", calls, gotData)
+	if calls != 1 || gotData == nil || !gotDirty {
+		t.Fatalf("owned recall not answered synchronously with substituted data (calls=%d data=%v dirty=%v)", calls, gotData, gotDirty)
+	}
+	r.g.startRecall(0x80, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) {
+		calls++
+		gotData, gotDirty = data, dirty
+	})
+	if calls != 2 || gotData != nil || gotDirty {
+		t.Fatalf("unknown-view recall must answer without data (calls=%d data=%v dirty=%v)", calls, gotData, gotDirty)
 	}
 	r.eng.RunUntilQuiet()
 	if got := countToAccel(r, coherence.AInv); got != 0 {

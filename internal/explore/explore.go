@@ -25,6 +25,17 @@ type Scenario struct {
 	// Run arms the race on sys with the second party delayed by offset
 	// ticks, and returns a verification callback executed after quiesce.
 	Run func(sys *config.System, offset sim.Time) (verify func() error)
+	// Build, when set, replaces config.Build for the scenario — used by
+	// quarantine scenarios that attach a scripted hostile accelerator via
+	// Spec.CustomAccel.
+	Build func(spec config.Spec) *config.System
+	// ExpectViolations marks scenarios that deliberately provoke
+	// guarantee violations (a hostile accelerator driving the guard into
+	// quarantine). The sweep then validates host-side health only —
+	// host transactions drained, host audit clean — and leaves the
+	// violation log to the scenario's own verify callback; the full-system
+	// zero-violations assertion would reject every point by construction.
+	ExpectViolations bool
 }
 
 // Result summarizes one sweep.
@@ -39,9 +50,13 @@ type Result struct {
 // given spec (a fresh deterministic system per point).
 func Sweep(spec config.Spec, sc Scenario, maxOffset sim.Time) Result {
 	res := Result{Scenario: sc.Name, Spec: spec}
+	build := config.Build
+	if sc.Build != nil {
+		build = sc.Build
+	}
 	for off := sim.Time(0); off <= maxOffset; off++ {
 		res.Points++
-		sys := config.Build(spec)
+		sys := build(spec)
 		verify := sc.Run(sys, off)
 		fail := func(f string, args ...any) {
 			res.Failures = append(res.Failures,
@@ -51,15 +66,19 @@ func Sweep(spec config.Spec, sc Scenario, maxOffset sim.Time) Result {
 			fail("engine did not drain")
 			continue
 		}
-		if n := sys.Outstanding(); n != 0 {
+		outstanding, audit := sys.Outstanding, sys.Audit
+		if sc.ExpectViolations {
+			outstanding, audit = sys.HostOutstanding, sys.AuditHostOnly
+		}
+		if n := outstanding(); n != 0 {
 			fail("%d transactions outstanding (deadlock)", n)
 			continue
 		}
-		if err := sys.Audit(); err != nil {
+		if err := audit(); err != nil {
 			fail("audit: %v", err)
 			continue
 		}
-		if sys.Log.Count() != 0 {
+		if !sc.ExpectViolations && sys.Log.Count() != 0 {
 			fail("protocol errors: %v", sys.Log.Errors[0])
 			continue
 		}

@@ -1,0 +1,40 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/sim"
+)
+
+// TestQuarantineVsGrantSweep sweeps the offset between the hostile
+// burst that trips the quarantine fence and the in-flight shared grant,
+// for every guard organization on both hosts. Each grid point must end
+// with the guard quarantined AND the host healthy: transactions
+// drained, host audit clean, and a post-quarantine store/load round
+// trip returning fresh data through the recall path.
+func TestQuarantineVsGrantSweep(t *testing.T) {
+	maxOff := 60
+	if testing.Short() {
+		maxOff = 20
+	}
+	orgs := []config.Org{config.OrgXGFull1L, config.OrgXGTxn1L, config.OrgXGFull2L, config.OrgXGTxn2L}
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range orgs {
+			host, org := host, org
+			t.Run(fmt.Sprintf("%v/%v", host, org), func(t *testing.T) {
+				spec := config.Spec{Host: host, Org: org, CPUs: 2, AccelCores: 1,
+					Seed: 31, Small: true}
+				res := Sweep(spec, QuarantineScenario(), sim.Time(maxOff))
+				if len(res.Failures) > 0 {
+					t.Fatalf("%d/%d points failed; first: %s",
+						len(res.Failures), res.Points, res.Failures[0])
+				}
+				if res.Points != maxOff+1 {
+					t.Fatalf("swept %d points, want %d", res.Points, maxOff+1)
+				}
+			})
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/config"
+	"crossingguard/internal/consistency"
 	"crossingguard/internal/mem"
 	"crossingguard/internal/network"
 	"crossingguard/internal/sim"
@@ -110,6 +111,28 @@ func StressShard(seed int64) (ticks, memops uint64, err error) {
 	res, err := tester.Run(sys, cfg)
 	if err != nil {
 		return 0, 0, fmt.Errorf("perfbench: stress shard: %w", err)
+	}
+	return uint64(res.EndTime), res.Stores + res.Loads, nil
+}
+
+// StressShardRecorded runs the identical workload to StressShard with an
+// observation recorder attached to every sequencer — the PR6 overhead
+// workload. Recording must be invisible to the simulation: the returned
+// ticks and memops are asserted equal to StressShard's, and xgbench uses
+// the wall-clock delta between the two to report recording_overhead_pct
+// (acceptance bar: <= 15%).
+func StressShardRecorded(seed int64) (ticks, memops uint64, err error) {
+	sys := config.Build(config.Spec{Host: config.HostMESI, Org: config.OrgXGFull1L,
+		CPUs: 2, AccelCores: 2, Seed: seed, Small: true,
+		Consistency: consistency.NewRecorder()})
+	cfg := tester.DefaultConfig(seed*37 + 5)
+	cfg.StoresPerLoc = 20
+	res, err := tester.Run(sys, cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("perfbench: recorded stress shard: %w", err)
+	}
+	if len(sys.Consistency.Merged()) == 0 {
+		return 0, 0, fmt.Errorf("perfbench: recorded stress shard produced no observations")
 	}
 	return uint64(res.EndTime), res.Stores + res.Loads, nil
 }

@@ -46,6 +46,26 @@ func TestStressShardDeterministic(t *testing.T) {
 	}
 }
 
+// TestStressShardRecordedIsInvisible pins that attaching the
+// observation recorder does not perturb the simulation: the recorded
+// shard runs the exact same schedule (ticks, memops) as the plain one.
+// If this breaks, the xgbench overhead comparison is comparing two
+// different workloads and recording_overhead_pct is fiction.
+func TestStressShardRecordedIsInvisible(t *testing.T) {
+	tp, opsP, err := StressShard(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, opsR, err := StressShardRecorded(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp != tr || opsP != opsR {
+		t.Fatalf("recording perturbed the shard: plain (%d,%d), recorded (%d,%d)",
+			tp, opsP, tr, opsR)
+	}
+}
+
 // TestWorkloadShardDeterministic pins the E5-style workload likewise.
 func TestWorkloadShardDeterministic(t *testing.T) {
 	t1, cy1, err := WorkloadShard(7)

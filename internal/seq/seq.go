@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"crossingguard/internal/coherence"
+	"crossingguard/internal/consistency"
 	"crossingguard/internal/mem"
 	"crossingguard/internal/network"
 	"crossingguard/internal/sim"
@@ -54,6 +55,12 @@ type Sequencer struct {
 	// OnQuiesce, when non-nil, fires whenever the sequencer goes from
 	// busy to fully idle.
 	OnQuiesce func()
+
+	// Rec, when non-nil, receives one observation record per completed
+	// operation (consistency recording). config.Build attaches it when
+	// Spec.Consistency is set; nil (the default) keeps the completion
+	// path record-free — Stream.Active is a single nil check.
+	Rec *consistency.Stream
 }
 
 // New returns a sequencer with the given node id, wired to cache.
@@ -163,6 +170,13 @@ func (s *Sequencer) Recv(m *coherence.Msg) {
 		s.Stores++
 	} else {
 		s.Loads++
+	}
+	if r := s.Rec; r.Active() {
+		if op.Store {
+			r.Record(consistency.OpStore, op.Addr, op.Val, op.Issued, op.Done)
+		} else {
+			r.Record(consistency.OpLoad, op.Addr, op.Result, op.Issued, op.Done)
+		}
 	}
 
 	// Wake a same-line queued op first (preserves program order per

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"crossingguard/internal/consistency"
 	"crossingguard/internal/mem"
 	"crossingguard/internal/seq"
 	"crossingguard/internal/sim"
@@ -198,6 +199,13 @@ func (r *runner) startChecks(loc *location, remaining int) {
 	expect := loc.value
 	s.Load(loc.addr, func(op *seq.Op) {
 		r.res.Loads++
+		// Record the tester's own expectation next to the sequencer's
+		// load record: the offline checker then validates the harness's
+		// bookkeeping against the recorded history, even on runs where
+		// inline verification is off.
+		if rec := s.Rec; rec.Active() {
+			rec.Record(consistency.OpVerify, loc.addr, expect, op.Issued, op.Done)
+		}
 		if r.cfg.SkipValueChecks {
 			r.startChecks(loc, remaining-1)
 			return
