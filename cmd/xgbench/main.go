@@ -20,15 +20,21 @@
 //     observation recorder attached to every sequencer, plus
 //     recording_overhead_pct vs the plain shard (ISSUE 6 acceptance
 //     bar: <= 15%).
+//   - e3_stress_multi: the two-accelerator E3 shard — two devices, each
+//     behind its own address-sharded guard, migrating ownership through
+//     one MESI host (ISSUE 7).
 //
 // Usage:
 //
-//	xgbench [-out BENCH_PR6.json] [-check]
+//	xgbench [-out BENCH_PR7.json] [-baseline BENCH_PR6.json] [-check]
 //
 // With -check, xgbench exits nonzero if any budget is blown:
 // fabric_send or engine_schedule_steady allocates on the steady-state
-// path (allocs/op > 0, i.e. recording disabled must cost nothing), or
-// recording_overhead_pct exceeds 15.
+// path (allocs/op > 0, i.e. recording disabled must cost nothing),
+// recording_overhead_pct exceeds 15, or — when the -baseline file
+// exists — the single-accelerator hot-path ns/op (stress_hot_path,
+// e3_stress) regressed more than 5% against it, proving the
+// multi-accelerator sharding left the one-device machine alone.
 package main
 
 import (
@@ -54,10 +60,12 @@ type bench struct {
 	SimTicksPerSec float64 `json:"sim_ticks_per_sec,omitempty"`
 }
 
-// report is the BENCH_PR6.json schema (xgbench/2: adds the steady-state
-// engine gate and the observation-recording overhead pair). Field order
-// is fixed by the struct; runs on the same machine diff cleanly except
-// for measured values.
+// report is the BENCH_PR7.json schema (xgbench/3: adds the
+// two-accelerator stress shard; xgbench/2 added the steady-state engine
+// gate and the observation-recording overhead pair). Field order is
+// fixed by the struct; runs on the same machine diff cleanly except for
+// measured values, and every xgbench/2 field keeps its name so the
+// -baseline comparison reads old files directly.
 type report struct {
 	Schema               string `json:"schema"`
 	EngineSchedule       bench  `json:"engine_schedule"`
@@ -75,7 +83,11 @@ type report struct {
 	// ns/op — what attaching the offline checker's observation streams
 	// costs the full simulator (ISSUE 6 budget: <= 15%).
 	RecordingOverheadPct float64 `json:"recording_overhead_pct"`
-	E5Runtime            bench   `json:"e5_runtime"`
+	// E3StressMulti is the e3_stress shard on the two-accelerator
+	// machine (Accels: 2, Shards: 4): same tester, twice the guards,
+	// every migration crossing both. New in xgbench/3.
+	E3StressMulti bench `json:"e3_stress_multi"`
+	E5Runtime     bench `json:"e5_runtime"`
 }
 
 // measure converts a testing.BenchmarkResult, attaching ticks/sec when
@@ -146,11 +158,12 @@ const (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output file for the machine-readable results")
-	check := flag.Bool("check", false, "exit nonzero if any budget is blown: steady-state allocs/op > 0 (fabric_send, engine_schedule_steady) or recording overhead > 15% (CI gate)")
+	out := flag.String("out", "BENCH_PR7.json", "output file for the machine-readable results")
+	baseline := flag.String("baseline", "BENCH_PR6.json", "previous-PR results to gate single-accelerator ns/op against with -check (skipped if the file does not exist)")
+	check := flag.Bool("check", false, "exit nonzero if any budget is blown: steady-state allocs/op > 0 (fabric_send, engine_schedule_steady), recording overhead > 15%, or single-accelerator ns/op > 5% over -baseline (CI gate)")
 	flag.Parse()
 
-	rep := report{Schema: "xgbench/2"}
+	rep := report{Schema: "xgbench/3"}
 
 	fmt.Fprintln(os.Stderr, "xgbench: engine schedule/drain (new kernel)...")
 	rep.EngineSchedule = measure(testing.Benchmark(func(b *testing.B) {
@@ -230,6 +243,20 @@ func main() {
 			rep.E3Stress.NsPerOp
 	}
 
+	e3mTicks, _, err := perfbench.StressShardMulti(shardSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xgbench: multi-accel e3 shard: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "xgbench: E3 stress shard (two accelerators)...")
+	rep.E3StressMulti = measure(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := perfbench.StressShardMulti(shardSeed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), float64(e3mTicks))
+
 	e5Ticks, _, err := perfbench.WorkloadShard(workloadSeed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xgbench: e5 shard: %v\n", err)
@@ -275,8 +302,47 @@ func main() {
 				rep.RecordingOverheadPct)
 			fail = true
 		}
+		if base, err := readBaseline(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "xgbench: baseline %s unavailable (%v), single-accelerator regression gate skipped\n",
+				*baseline, err)
+		} else {
+			gates := []struct {
+				name     string
+				now, was float64
+			}{
+				{"stress_hot_path", rep.StressHotPath.NsPerOp, base.StressHotPath.NsPerOp},
+				{"e3_stress", rep.E3Stress.NsPerOp, base.E3Stress.NsPerOp},
+			}
+			for _, g := range gates {
+				if g.was <= 0 {
+					continue
+				}
+				pct := 100 * (g.now - g.was) / g.was
+				fmt.Fprintf(os.Stderr, "xgbench: %s vs %s: %+.1f%% ns/op (budget +5%%)\n",
+					g.name, *baseline, pct)
+				if pct > 5 {
+					fmt.Fprintf(os.Stderr, "xgbench: FAIL: single-accelerator %s regressed %.1f%% against %s, budget is 5%%\n",
+						g.name, pct, *baseline)
+					fail = true
+				}
+			}
+		}
 		if fail {
 			os.Exit(1)
 		}
 	}
+}
+
+// readBaseline loads a previous xgbench report (any schema version —
+// the xgbench/2 field names are stable) for the -check regression gate.
+func readBaseline(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
 }

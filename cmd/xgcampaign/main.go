@@ -7,8 +7,9 @@
 //
 // Usage:
 //
-//	xgcampaign [-mode stress|fuzz|chaos|all] [-seeds N] [-workers N]
+//	xgcampaign [-mode stress|fuzz|chaos|multi|all] [-seeds N] [-workers N]
 //	           [-budget 30s] [-stores N] [-messages N] [-cpus N] [-cores N]
+//	           [-accels N] [-shards N]
 //	           [-checked] [-consistency] [-coverage=false]
 //	           [-metrics out.json] [-trace out.jsonl] [-obs out.obs]
 //	xgcampaign -repro 'kind=stress host=hammer org=xg-full/1L seed=3 ...'
@@ -35,6 +36,13 @@
 // the exact fault schedule. -mode all covers stress+fuzz (chaos is its
 // own mode: quarantines are expected there and exit distinctly).
 //
+// -accels builds every machine with N accelerator devices, each behind
+// its own guard (fuzz/chaos shards attach one attacker/adversary per
+// device); -shards address-shards every guard's block table and recall
+// book (power of two; reports are byte-identical for any value). -mode
+// multi runs the dedicated accel-count sweep (org x accel count x fault
+// preset) and ignores -accels.
+//
 // Exit codes (documented in README.md): 0 all shards passed, 1 at least
 // one guarantee violation / hang / crash / corruption, 2 usage error,
 // 3 all shards passed but at least one guard quarantined its accelerator.
@@ -60,6 +68,8 @@ var (
 	messages = flag.Int("messages", 3000, "fuzz messages per shard (fuzz shards)")
 	cpus     = flag.Int("cpus", 2, "CPU cores per machine")
 	cores    = flag.Int("cores", 2, "accelerator cores per machine (stress shards)")
+	accels   = flag.Int("accels", 1, "accelerator devices per machine, each behind its own guard")
+	shards   = flag.Int("shards", 0, "guard-state shard count (power of two; 0 = single shard)")
 	checked  = flag.Bool("checked", false, "fuzz: keep value checks on while the attacker shares pages (deliberately failing buggy-accelerator demo)")
 	consist  = flag.Bool("consistency", false, "record per-core observations and run the offline invariant checker on every value-checked shard")
 	coverage = flag.Bool("coverage", true, "print merged state/event coverage")
@@ -88,12 +98,28 @@ func main() {
 		base = campaign.FuzzSweep(1, *cpus, *messages)
 	case "chaos":
 		base = campaign.ChaosSweep(1, *cpus, *messages)
+	case "multi":
+		base = campaign.MultiAccelSweep(1, *cpus, *stores, *messages)
 	case "all":
 		base = append(campaign.StressSweep(1, *cpus, *cores, *stores),
 			campaign.FuzzSweep(1, *cpus, *messages)...)
 	default:
-		fmt.Fprintf(os.Stderr, "xgcampaign: unknown -mode %q (want stress, fuzz, chaos, or all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "xgcampaign: unknown -mode %q (want stress, fuzz, chaos, multi, or all)\n", *mode)
 		os.Exit(campaign.ExitUsage)
+	}
+	if *shards != 0 && *shards&(*shards-1) != 0 {
+		fmt.Fprintf(os.Stderr, "xgcampaign: -shards %d is not a power of two\n", *shards)
+		os.Exit(campaign.ExitUsage)
+	}
+	if *mode != "multi" && (*accels > 1 || *shards > 1) {
+		for i := range base {
+			if *accels > 1 {
+				base[i].Accels = *accels
+			}
+			if *shards > 1 {
+				base[i].Shards = *shards
+			}
+		}
 	}
 	if *checked {
 		for i := range base {

@@ -63,6 +63,7 @@ var guaranteeNames = []struct{ code, prose string }{
 
 func render(w io.Writer, s obs.Snapshot) {
 	renderGuarantees(w, s)
+	renderPerAccel(w, s)
 	renderRobustness(w, s)
 	renderCrossings(w, s)
 	renderStates(w, s)
@@ -103,11 +104,84 @@ func renderRobustness(w io.Writer, s obs.Snapshot) {
 	fmt.Fprintln(w)
 }
 
+// accelTagOf splits a per-accelerator metric name ("guard.check.pass@a1")
+// into its base name and device tag; ok is false for untagged metrics.
+func accelTagOf(name string) (base, tag string, ok bool) {
+	i := strings.LastIndex(name, "@a")
+	if i < 0 {
+		return name, "", false
+	}
+	return name[:i], name[i+2:], true
+}
+
+// renderPerAccel prints the per-accelerator guarantee-outcome table from
+// the "@a<N>"-suffixed counters every guard emits alongside the
+// aggregates. Rendered only for multi-device runs (two or more tags).
+func renderPerAccel(w io.Writer, s obs.Snapshot) {
+	type accRow struct {
+		pass, violations uint64
+		byCode           map[string]uint64
+	}
+	rows := map[string]*accRow{}
+	get := func(tag string) *accRow {
+		r, ok := rows[tag]
+		if !ok {
+			r = &accRow{byCode: map[string]uint64{}}
+			rows[tag] = r
+		}
+		return r
+	}
+	for name, n := range s.Counters {
+		base, tag, ok := accelTagOf(name)
+		if !ok {
+			continue
+		}
+		switch {
+		case base == "guard.check.pass":
+			get(tag).pass += n
+		case strings.HasPrefix(base, "guard.violation."):
+			r := get(tag)
+			r.violations += n
+			r.byCode[strings.TrimPrefix(base, "guard.violation.")] += n
+		}
+	}
+	if len(rows) < 2 {
+		return
+	}
+	tags := make([]string, 0, len(rows))
+	for tag := range rows {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	fmt.Fprintln(w, "per-accelerator guarantee outcomes (one guard per device)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  accel\tpass\tviolations\tby code")
+	for _, tag := range tags {
+		r := rows[tag]
+		var codes []string
+		for c := range r.byCode {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		parts := make([]string, len(codes))
+		for i, c := range codes {
+			parts[i] = fmt.Sprintf("%s=%d", c, r.byCode[c])
+		}
+		detail := strings.Join(parts, " ")
+		if detail == "" {
+			detail = "-"
+		}
+		fmt.Fprintf(tw, "  a%s\t%d\t%d\t%s\n", tag, r.pass, r.violations, detail)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
 func renderGuarantees(w io.Writer, s obs.Snapshot) {
 	pass := s.Counters["guard.check.pass"]
 	var total uint64
 	for name, n := range s.Counters {
-		if strings.HasPrefix(name, "guard.violation.") {
+		if strings.HasPrefix(name, "guard.violation.") && !strings.Contains(name, "@a") {
 			total += n
 		}
 	}
@@ -126,7 +200,7 @@ func renderGuarantees(w io.Writer, s obs.Snapshot) {
 	// Codes the table above doesn't know (future guarantees) still print.
 	var extra []string
 	for name := range s.Counters {
-		if strings.HasPrefix(name, "guard.violation.") && !seen[name] {
+		if strings.HasPrefix(name, "guard.violation.") && !seen[name] && !strings.Contains(name, "@a") {
 			extra = append(extra, name)
 		}
 	}

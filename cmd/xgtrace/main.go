@@ -8,7 +8,14 @@
 // Usage:
 //
 //	xgtrace [-host hammer|mesi] [-org xg-full/1L|...] [-kind graph|...]
+//	        [-accels N] [-shards N]
 //	        [-watch 0xADDR] [-accesses N] [-tail N] [-jsonl out.jsonl]
+//
+// With -accels 2 the machine gets two accelerator devices, each behind
+// its own guard; the cross-accelerator kernels (-kind cross-share or
+// false-share) then make one line migrate guard-to-guard, and -watch
+// shows the full recall/grant conversation for it (the walk-through in
+// docs/SCALING.md is produced this way).
 package main
 
 import (
@@ -28,6 +35,8 @@ var (
 	hostFlag = flag.String("host", "mesi", "host protocol: hammer or mesi")
 	orgFlag  = flag.String("org", "xg-full/1L", "organization (see config.AllOrgs)")
 	kindFlag = flag.String("kind", "graph", "workload kind")
+	accels   = flag.Int("accels", 1, "accelerator devices, one guard each")
+	shards   = flag.Int("shards", 0, "guard-state shards per guard (power of two; 0 = one)")
 	watch    = flag.String("watch", "", "hex line address to filter (e.g. 0x100040)")
 	accesses = flag.Int("accesses", 200, "accelerator accesses per core")
 	tailN    = flag.Int("tail", 120, "print at most the last N matching events")
@@ -58,7 +67,7 @@ func main() {
 	}
 	var kind workload.Kind
 	found = false
-	for _, k := range workload.AllKinds {
+	for _, k := range append(append([]workload.Kind{}, workload.AllKinds...), workload.MultiKinds...) {
 		if k.String() == *kindFlag {
 			kind, found = k, true
 		}
@@ -71,7 +80,7 @@ func main() {
 	cfg := workload.DefaultConfig(kind)
 	cfg.AccessesPerCore = *accesses
 	sys := config.Build(config.Spec{Host: host, Org: org, CPUs: 2, AccelCores: 2,
-		Seed: 1, Perms: workload.Perms(cfg)})
+		Accels: *accels, Shards: *shards, Seed: 1, Perms: workload.Perms(cfg)})
 	events := &obs.Slice{}
 	sys.Fab.Bus = obs.NewBus(events)
 

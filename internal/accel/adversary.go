@@ -73,6 +73,11 @@ type AdvConfig struct {
 	Seed int64
 	// Pool is the address set the adversary works over.
 	Pool []mem.Addr
+	// VictimPool is merged into the attack pool: blocks another
+	// accelerator (or the host) is expected to hold, so a multi-device
+	// machine exercises cross-accelerator recalls and ownership races.
+	// Empty VictimPool leaves behavior byte-identical to a plain Pool.
+	VictimPool []mem.Addr
 	// Budget bounds self-initiated sends so the engine always drains;
 	// responses to Invalidate are not budgeted (they are bounded by the
 	// host's own recall traffic).
@@ -97,6 +102,8 @@ type Adversary struct {
 	rng *rand.Rand
 	cfg AdvConfig
 
+	pool []mem.Addr // Pool followed by VictimPool
+
 	open     map[mem.Addr]coherence.MsgType // self-initiated open transactions
 	held     map[mem.Addr]*mem.Block        // lines granted to us (data as granted)
 	stale    map[mem.Addr]*mem.Block        // first data ever seen per line (AdvStaleWriter)
@@ -120,10 +127,13 @@ func NewAdversary(id, xg coherence.NodeID, eng *sim.Engine, fab *network.Fabric,
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 1000
 	}
+	pool := make([]mem.Addr, 0, len(cfg.Pool)+len(cfg.VictimPool))
+	pool = append(append(pool, cfg.Pool...), cfg.VictimPool...)
 	a := &Adversary{
 		id: id, xg: xg, eng: eng, fab: fab,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		cfg:   cfg,
+		pool:  pool,
 		open:  make(map[mem.Addr]coherence.MsgType),
 		held:  make(map[mem.Addr]*mem.Block),
 		stale: make(map[mem.Addr]*mem.Block),
@@ -347,7 +357,7 @@ func (a *Adversary) send(ty coherence.MsgType, addr mem.Addr, data *mem.Block, d
 }
 
 func (a *Adversary) pick() mem.Addr {
-	return a.cfg.Pool[a.rng.Intn(len(a.cfg.Pool))].Line()
+	return a.pool[a.rng.Intn(len(a.pool))].Line()
 }
 
 // staleBlock returns deliberately wrong data for addr: the first value

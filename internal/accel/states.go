@@ -24,15 +24,16 @@ import "crossingguard/internal/sim"
 type AState int
 
 const (
-	AI AState = iota
-	AS
-	AE
-	AM
-	AB // Busy: a request is outstanding to Crossing Guard
+	AI AState = iota // Invalid
+	AS               // Shared
+	AE               // Exclusive (clean)
+	AM               // Modified
+	AB               // Busy: a request is outstanding to Crossing Guard
 )
 
 var aStateNames = [...]string{AI: "I", AS: "S", AE: "E", AM: "M", AB: "B"}
 
+// String returns the paper's one-letter state name.
 func (s AState) String() string { return aStateNames[s] }
 
 // Stable reports whether s is a stable state.
@@ -51,6 +52,7 @@ const (
 	FlavorVI
 )
 
+// String names the flavor after the protocol it degrades to.
 func (f Flavor) String() string {
 	switch f {
 	case FlavorMESI:

@@ -25,12 +25,13 @@ import (
 type InnerState int
 
 const (
-	NI InnerState = iota
-	NS
-	NM
-	NB
+	NI InnerState = iota // Invalid
+	NS                   // Shared
+	NM                   // Modified
+	NB                   // Busy: a request is outstanding to the shared L2
 )
 
+// String returns the one-letter inner-protocol state name.
 func (s InnerState) String() string { return [...]string{"I", "S", "M", "B"}[s] }
 
 type innerLine struct {

@@ -1,0 +1,219 @@
+package campaign
+
+// Multi-accelerator campaign tests: N devices behind N guards on one
+// host fabric, guard state address-sharded. The two load-bearing
+// properties are (1) worker-count determinism survives the extra
+// devices, and (2) sharding is pure state organization — any shard
+// count produces byte-identical results.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/consistency"
+)
+
+// multiSweep is a quick shard set exercising 2- and 3-device machines
+// across kinds, hosts, and guard organizations.
+func multiSweep() []ShardSpec {
+	return []ShardSpec{
+		{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull1L, Seed: 1, CPUs: 2, Cores: 1, Accels: 2, Stores: 10},
+		{Kind: KindStress, Host: config.HostMESI, Org: config.OrgXGTxn2L, Seed: 2, CPUs: 2, Cores: 2, Accels: 2, Shards: 4, Stores: 10},
+		{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull2L, Seed: 3, CPUs: 2, Cores: 1, Accels: 3, Stores: 10},
+		{Kind: KindFuzz, Host: config.HostHammer, Org: config.OrgXGTxn1L, Seed: 1, CPUs: 2, Accels: 2, Messages: 300, Confined: true},
+		{Kind: KindChaos, Host: config.HostMESI, Org: config.OrgXGFull1L, Seed: 1, CPUs: 2, Accels: 2, Model: "stalewriter", Messages: 400, Confined: true},
+	}
+}
+
+// TestMultiAccelDeterministicAcrossWorkers extends the campaign's core
+// guarantee to multi-device machines: the same multi-accelerator shard
+// set produces identical per-shard results for any worker count.
+func TestMultiAccelDeterministicAcrossWorkers(t *testing.T) {
+	var baseline *Report
+	for _, workers := range []int{1, 8} {
+		rep := Run(multiSweep(), Options{Workers: workers})
+		if baseline == nil {
+			baseline = rep
+			continue
+		}
+		if got, want := rep.CoverageTable(), baseline.CoverageTable(); got != want {
+			t.Errorf("workers=%d: coverage table differs:\n got:\n%s\nwant:\n%s", workers, got, want)
+		}
+		if !reflect.DeepEqual(rep.ByCode, baseline.ByCode) {
+			t.Errorf("workers=%d: violation counts differ: %v vs %v", workers, rep.ByCode, baseline.ByCode)
+		}
+		for i := range rep.Shards {
+			got, want := &rep.Shards[i], &baseline.Shards[i]
+			if got.Res != want.Res || got.Sent != want.Sent || got.Violations != want.Violations {
+				t.Errorf("workers=%d shard %d: result %+v/%d/%d, want %+v/%d/%d",
+					workers, i, got.Res, got.Sent, got.Violations, want.Res, want.Sent, want.Violations)
+			}
+		}
+	}
+}
+
+// TestShardCountInvariant: sharding the guard's block table and recall
+// book is pure state organization — it never changes simulated timing —
+// so a shard's entire observable result (tester counters, attack
+// volume, violations, recorded observation history) is identical for
+// shard counts 1 and 16.
+func TestShardCountInvariant(t *testing.T) {
+	base := multiSweep()
+	for i := range base {
+		base[i].Consistency = true
+	}
+	degenerate := append([]ShardSpec(nil), base...)
+	sharded := append([]ShardSpec(nil), base...)
+	for i := range base {
+		degenerate[i].Shards = 1
+		sharded[i].Shards = 16
+	}
+	rep1 := Run(degenerate, Options{Workers: 4})
+	rep16 := Run(sharded, Options{Workers: 4})
+	for i := range rep1.Shards {
+		a, b := &rep1.Shards[i], &rep16.Shards[i]
+		if a.Res != b.Res || a.Sent != b.Sent || a.Violations != b.Violations {
+			t.Errorf("shard %d: shards=1 result %+v/%d/%d, shards=16 %+v/%d/%d",
+				i, a.Res, a.Sent, a.Violations, b.Res, b.Sent, b.Violations)
+		}
+		if !reflect.DeepEqual(a.Recs, b.Recs) {
+			t.Errorf("shard %d: observation history differs between shard counts", i)
+		}
+	}
+	if got, want := rep16.CoverageTable(), rep1.CoverageTable(); got != want {
+		t.Errorf("coverage table differs between shard counts:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMultiAccelSpecRoundTrip: accels/shards survive the repro string,
+// single-device specs render without them, and non-power-of-two shard
+// counts are rejected at parse time.
+func TestMultiAccelSpecRoundTrip(t *testing.T) {
+	for _, s := range multiSweep() {
+		text := FormatSpec(s)
+		got, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		if got.Accels != s.Accels || got.Shards != s.Shards || FormatSpec(got) != text {
+			t.Fatalf("round trip %q: got accels=%d shards=%d (%q)", text, got.Accels, got.Shards, FormatSpec(got))
+		}
+		if s.Accels > 1 && !strings.Contains(s.Name(), "/a") {
+			t.Errorf("Name() %q does not carry the accel count", s.Name())
+		}
+	}
+	single := FormatSpec(ShardSpec{Kind: KindStress, Host: config.HostHammer,
+		Org: config.OrgXGFull1L, Seed: 1, CPUs: 2, Cores: 2, Stores: 10})
+	if strings.Contains(single, "accels=") || strings.Contains(single, "shards=") {
+		t.Errorf("single-device spec %q carries multi-device fields", single)
+	}
+	bad := "kind=stress host=hammer org=xg-full/1L seed=1 shards=3"
+	if _, err := ParseSpec(bad); err == nil {
+		t.Errorf("ParseSpec(%q) accepted a non-power-of-two shard count", bad)
+	}
+}
+
+// TestCrossAccelObservationsTagged: a recorded two-device shard tags
+// every accelerator-core observation with its device (1 = device 0,
+// 2 = device 1) while host cores stay tag 0, and both devices observe
+// the shared locations the tester stresses.
+func TestCrossAccelObservationsTagged(t *testing.T) {
+	spec := ShardSpec{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull1L,
+		Seed: 1, CPUs: 2, Cores: 1, Accels: 2, Stores: 10, Consistency: true}
+	res := RunShard(spec, false)
+	if res.Err != nil {
+		t.Fatalf("two-device stress shard failed: %v", res.Err)
+	}
+	byTag := map[int32]int{}
+	for _, r := range res.Recs {
+		byTag[r.Accel]++
+	}
+	for _, tag := range []int32{0, 1, 2} {
+		if byTag[tag] == 0 {
+			t.Errorf("no observations recorded with accel tag %d (have %v)", tag, byTag)
+		}
+	}
+}
+
+// TestCrossAccelStaleWriteConvicted seeds a cross-accelerator stale
+// write into a clean two-device history: device 1 observes a location
+// after a store from device 0 completed, and the seeded bug makes that
+// observation return the pre-store value. The offline checker must
+// convict at exactly that address, and the violation report must name
+// the accelerator that observed the stale value.
+func TestCrossAccelStaleWriteConvicted(t *testing.T) {
+	spec := ShardSpec{Kind: KindStress, Host: config.HostMESI, Org: config.OrgXGFull1L,
+		Seed: 2, CPUs: 2, Cores: 1, Accels: 2, Stores: 15, Consistency: true}
+	res := RunShard(spec, false)
+	if res.Err != nil {
+		t.Fatalf("two-device stress shard failed: %v", res.Err)
+	}
+	if v := consistency.Check(res.Recs, consistency.Options{Workers: 1}); !v.OK() {
+		t.Fatalf("clean history convicted: %v", v.First())
+	}
+
+	// Seed the bug: a device-2 load whose observed value was stored by a
+	// device-1 core strictly before it; rewrite the load to drop that
+	// store's effect.
+	recs := append([]consistency.Rec(nil), res.Recs...)
+	bug := -1
+	for i := len(recs) - 1; i >= 0 && bug < 0; i-- {
+		r := recs[i]
+		if r.Op != consistency.OpLoad || r.Accel != 2 || r.Val == 0 {
+			continue
+		}
+		for _, s := range recs {
+			if s.Op == consistency.OpStore && s.Accel == 1 && s.Addr == r.Addr &&
+				s.Val == r.Val && s.Done < r.Issued {
+				bug = i
+				break
+			}
+		}
+	}
+	if bug < 0 {
+		t.Skip("no cross-device load/store pair in this history (seed-dependent)")
+	}
+	recs[bug].Val = 0
+	v := consistency.Check(recs, consistency.Options{Workers: 1})
+	if v.OK() {
+		t.Fatalf("seeded cross-accelerator stale write at %v not convicted", recs[bug].Addr)
+	}
+	first := v.First()
+	if first.Addr != recs[bug].Addr {
+		t.Fatalf("convicted at %v, bug seeded at %v:\n%s", first.Addr, recs[bug].Addr, v.Render())
+	}
+	if !strings.Contains(first.String(), "[a2 ") {
+		t.Errorf("violation report does not name the observing accelerator: %v", first)
+	}
+}
+
+// TestMultiAccelSweepShape bounds the dedicated accel-count sweep: it
+// covers every accel count for every guard organization, and its
+// single-device stress cells are plain stress cells (same name as the
+// corresponding StressSweep cell).
+func TestMultiAccelSweepShape(t *testing.T) {
+	specs := MultiAccelSweep(2, 2, 50, 500)
+	counts := map[int]int{}
+	for _, s := range specs {
+		a := s.Accels
+		if a == 0 {
+			a = 1
+		}
+		counts[a]++
+		if s.Kind == KindChaos && s.Model == "" {
+			t.Fatalf("chaos cell without a model: %+v", s)
+		}
+	}
+	for _, want := range AccelCounts {
+		if counts[want] == 0 {
+			t.Errorf("sweep has no cells with %d accels (have %v)", want, counts)
+		}
+	}
+	one := ShardSpec{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull1L,
+		Seed: 1, CPUs: 2, Cores: 2, Accels: 1, Stores: 50}
+	if one.Name() != "hammer/xg-full/1L" {
+		t.Errorf("Accels=1 name %q differs from the single-accelerator form", one.Name())
+	}
+}

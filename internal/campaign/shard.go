@@ -65,6 +65,15 @@ type ShardSpec struct {
 	CPUs  int
 	Cores int
 
+	// Accels is the number of accelerator devices, each behind its own
+	// guard (0 or 1 = the historical single-accelerator machine). Fuzz
+	// and chaos shards attach one attacker/adversary per device.
+	Accels int
+	// Shards is the guard-state shard count (power of two; 0 = single
+	// shard). Sharding is pure state organization, so reports are
+	// byte-identical for any value.
+	Shards int
+
 	// Stores is StoresPerLoc for stress shards.
 	Stores int
 
@@ -107,10 +116,14 @@ func (s ShardSpec) Name() string {
 	if s.Custom != nil {
 		return "custom"
 	}
+	name := fmt.Sprintf("%v/%v", s.Host, s.Org)
 	if s.Kind == KindChaos {
-		return fmt.Sprintf("%v/%v/%s", s.Host, s.Org, s.Model)
+		name = fmt.Sprintf("%s/%s", name, s.Model)
 	}
-	return fmt.Sprintf("%v/%v", s.Host, s.Org)
+	if s.Accels > 1 {
+		name = fmt.Sprintf("%s/a%d", name, s.Accels)
+	}
+	return name
 }
 
 // ShardResult is everything one shard produced.
@@ -192,7 +205,8 @@ func RunShard(spec ShardSpec, trace bool) ShardResult {
 func runStressShard(res *ShardResult, trace bool) {
 	spec := res.Spec
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
-		CPUs: spec.CPUs, AccelCores: spec.Cores, Seed: spec.Seed * 97, Small: true,
+		CPUs: spec.CPUs, AccelCores: spec.Cores, Accels: spec.Accels, Shards: spec.Shards,
+		Seed: spec.Seed * 97, Small: true,
 		Consistency: newRecorder(spec)})
 	var ring *obs.Ring
 	if trace {
@@ -259,15 +273,24 @@ func runFuzzShard(res *ShardResult, trace bool) {
 	if spec.Confined {
 		perms = perm.NewTable() // deny everything: the attacker owns no pages
 	}
-	var att *fuzz.Attacker
+	var atts []*fuzz.Attacker
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
-		CPUs: spec.CPUs, AccelCores: 1, Seed: spec.Seed * 61, Small: true,
+		CPUs: spec.CPUs, AccelCores: 1, Accels: spec.Accels, Shards: spec.Shards,
+		Seed: spec.Seed * 61, Small: true,
 		Timeout: 5000, Perms: perms, Consistency: newRecorder(spec),
 		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
-			att = fuzz.NewAttacker(accelID, xgID, s.Eng, s.Fab, spec.Seed*67, fuzzPool(base))
+			// One attacker per device. Device 0 keeps the historical seed
+			// formula exactly; further devices perturb it so each attacker
+			// draws an independent — but replayable — message stream.
+			seed := spec.Seed * 67
+			if d := config.DeviceOf(accelID); d > 0 {
+				seed += int64(d) * 1009
+			}
+			att := fuzz.NewAttacker(accelID, xgID, s.Eng, s.Fab, seed, fuzzPool(base))
 			att.Policy = fuzz.InvRandom
 			att.IncludeHostTypes = true
 			att.NilDataProb = 0.1
+			atts = append(atts, att)
 			return nil
 		}})
 	var ring *obs.Ring
@@ -275,7 +298,9 @@ func runFuzzShard(res *ShardResult, trace bool) {
 		ring = obs.NewRing(4000)
 		sys.Fab.Bus = obs.NewBus(ring)
 	}
-	att.Rampage(spec.Messages, 40)
+	for _, att := range atts {
+		att.Rampage(spec.Messages, 40)
+	}
 	cfg := tester.DefaultConfig(spec.Seed * 71)
 	cfg.StoresPerLoc = 25
 	cfg.BaseAddr = base
@@ -283,7 +308,9 @@ func runFuzzShard(res *ShardResult, trace bool) {
 	cfg.SkipValueChecks = !spec.Confined && !spec.CheckValues
 	res.Res, res.Err = tester.Run(hostView{sys}, cfg)
 	res.Obs = sys.Obs
-	res.Sent = att.Sent
+	for _, att := range atts {
+		res.Sent += att.Sent
+	}
 	res.Violations = uint64(sys.Log.Count())
 	for code, n := range sys.Log.ByCode {
 		res.ByCode[code] += n
@@ -320,16 +347,28 @@ func runChaosShard(res *ShardResult, trace bool) {
 		perms = perm.NewTable() // deny everything: the adversary owns no pages
 	}
 	plan := spec.Faults
-	var adv *accel.Adversary
+	var advs []*accel.Adversary
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
-		CPUs: spec.CPUs, AccelCores: 1, Seed: spec.Seed * 41, Small: true,
+		CPUs: spec.CPUs, AccelCores: 1, Accels: spec.Accels, Shards: spec.Shards,
+		Seed: spec.Seed * 41, Small: true,
 		Timeout: 2000, RecallRetries: 2, QuarantineAfter: 25,
 		Perms: perms, Faults: &plan, Consistency: newRecorder(spec),
 		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
-			adv = accel.NewAdversary(accelID, xgID, s.Eng, s.Fab, accel.AdvConfig{
+			// One adversary per device. Device 0 keeps the historical seed
+			// and pool exactly; further devices get a device-private pool
+			// plus the shared lines as a victim pool, so they fight the
+			// other accelerator (and the CPUs) for ownership.
+			cfg := accel.AdvConfig{
 				Model: model, Seed: spec.Seed * 43, Pool: fuzzPool(base),
 				Budget: spec.Messages, Gap: 20, Deadline: 2000,
-			})
+			}
+			if d := config.DeviceOf(accelID); d > 0 {
+				cfg.Seed += int64(d) * 1013
+				cfg.Pool = fuzzPool(base + mem.Addr(d*0x8000))
+				cfg.VictimPool = fuzzPool(base)
+			}
+			adv := accel.NewAdversary(accelID, xgID, s.Eng, s.Fab, cfg)
+			advs = append(advs, adv)
 			return adv.Outstanding
 		}})
 	var ring *obs.Ring
@@ -347,7 +386,9 @@ func runChaosShard(res *ShardResult, trace bool) {
 	cfg.SkipValueChecks = !spec.Confined && !spec.CheckValues
 	res.Res, res.Err = tester.Run(hostView{sys}, cfg)
 	res.Obs = sys.Obs
-	res.Sent = adv.Sent
+	for _, adv := range advs {
+		res.Sent += adv.Sent
+	}
 	if sys.Faults != nil {
 		res.Injected = sys.Faults.Injected
 	}
@@ -389,8 +430,8 @@ func recordCoverage(sys *config.System, covs map[string]*coherence.Coverage) {
 	for _, il := range sys.InnerL1s {
 		get("accel2L.L1", accel.NewInnerL1Coverage).Merge(il.Cov)
 	}
-	if sys.AccelL2 != nil {
-		get("accel2L.L2", accel.NewSharedL2Coverage).Merge(sys.AccelL2.Cov)
+	for _, l2 := range sys.AccelL2s {
+		get("accel2L.L2", accel.NewSharedL2Coverage).Merge(l2.Cov)
 	}
 	for _, c := range sys.HCaches {
 		get("hammer.cache", hammer.NewCacheCoverage).Merge(c.Cov)
@@ -426,6 +467,12 @@ func FormatSpec(s ShardSpec) string {
 		"org=" + s.Org.String(),
 		"seed=" + strconv.FormatInt(s.Seed, 10),
 		"cpus=" + strconv.Itoa(s.CPUs),
+	}
+	if s.Accels > 1 {
+		parts = append(parts, "accels="+strconv.Itoa(s.Accels))
+	}
+	if s.Shards > 1 {
+		parts = append(parts, "shards="+strconv.Itoa(s.Shards))
 	}
 	switch s.Kind {
 	case KindStress:
@@ -509,7 +556,7 @@ func ParseSpec(text string) (ShardSpec, error) {
 				return spec, fmt.Errorf("campaign: bad seed %q", v)
 			}
 			spec.Seed = n
-		case "cpus", "cores", "stores", "messages":
+		case "cpus", "cores", "stores", "messages", "accels", "shards":
 			n, err := strconv.Atoi(v)
 			if err != nil || n <= 0 {
 				return spec, fmt.Errorf("campaign: bad %s %q", k, v)
@@ -523,6 +570,13 @@ func ParseSpec(text string) (ShardSpec, error) {
 				spec.Stores = n
 			case "messages":
 				spec.Messages = n
+			case "accels":
+				spec.Accels = n
+			case "shards":
+				if n&(n-1) != 0 {
+					return spec, fmt.Errorf("campaign: shards %d is not a power of two", n)
+				}
+				spec.Shards = n
 			}
 		case "confined":
 			spec.Confined = v == "1" || v == "true"

@@ -42,6 +42,49 @@ func FuzzSweep(seeds, cpus, messages int) []ShardSpec {
 	return specs
 }
 
+// AccelCounts is the device counts MultiAccelSweep covers: the
+// historical single-accelerator machine, plus two- and four-device
+// machines where every device sits behind its own guard.
+var AccelCounts = []int{1, 2, 4}
+
+// MultiAccelSweep builds the multi-accelerator shard set: (host x guard
+// organization x accel count x seed) stress shards, plus a confined
+// chaos cell per (host x org x accel count x fault preset) where the
+// extra adversaries target the shared lines the first device fights
+// over. It is the accel-count axis of the campaign: every cell with
+// Accels=1 matches the corresponding single-accelerator sweep cell.
+func MultiAccelSweep(seeds, cpus, stores, messages int) []ShardSpec {
+	var specs []ShardSpec
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range FuzzOrgs {
+			for _, accels := range AccelCounts {
+				for seed := int64(1); seed <= int64(seeds); seed++ {
+					specs = append(specs, ShardSpec{Kind: KindStress, Host: host, Org: org,
+						Seed: seed, CPUs: cpus, Cores: 1, Accels: accels, Stores: stores})
+				}
+			}
+		}
+	}
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range FuzzOrgs {
+			for _, accels := range AccelCounts {
+				for _, preset := range faults.Presets {
+					for seed := int64(1); seed <= int64(seeds); seed++ {
+						plan := preset.Plan
+						if plan.Active() {
+							plan.Seed += seed
+						}
+						specs = append(specs, ShardSpec{Kind: KindChaos, Host: host, Org: org,
+							Seed: seed, CPUs: cpus, Messages: messages, Accels: accels,
+							Model: accel.AdvStaleWriter.String(), Faults: plan, Confined: true})
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
 // ChaosSweep builds the chaos shard set: (host x guard organization x
 // adversary model x fault preset x {shared, confined} x seed). Fault-plan
 // seeds are offset by the shard seed so each cell draws an independent —

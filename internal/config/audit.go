@@ -73,17 +73,22 @@ func (s *System) Audit() error {
 			add(holder{a.Name(), a.ID(), accelLevel(st), data, true}, addr)
 		})
 	}
-	if s.AccelL2 != nil {
-		// The shared accelerator L2's host-grant is the accelerator's
-		// claim toward the host; inner L1 state is checked separately.
-		s.AccelL2.VisitStable(func(addr mem.Addr, host accel.AState, owner coherence.NodeID, sharers int, data *mem.Block, dirty bool) {
+	for _, l2 := range s.AccelL2s {
+		// Each device's shared accelerator L2 host-grant is that device's
+		// claim toward the host; inner L1 state is checked separately,
+		// per device, so one device's L1s are never audited against
+		// another device's L2.
+		l2 := l2
+		l2.VisitStable(func(addr mem.Addr, host accel.AState, owner coherence.NodeID, sharers int, data *mem.Block, dirty bool) {
 			lvl := accelLevel(host)
 			if dirty && lvl < 2 {
 				lvl = 2
 			}
-			add(holder{s.AccelL2.Name(), s.AccelL2.ID(), lvl, data, true}, addr)
+			add(holder{l2.Name(), l2.ID(), lvl, data, true}, addr)
 		})
-		if err := s.auditInnerHierarchy(); err != nil {
+	}
+	for i := range s.innerGroups {
+		if err := s.auditInnerHierarchy(&s.innerGroups[i]); err != nil {
 			return err
 		}
 	}
@@ -263,16 +268,17 @@ func (s *System) auditGuardTables(lines map[mem.Addr][]holder) error {
 	return nil
 }
 
-// auditInnerHierarchy checks the two-level accelerator's internal
-// invariants: inner inclusion, single inner owner, data agreement.
-func (s *System) auditInnerHierarchy() error {
+// auditInnerHierarchy checks one two-level device's internal
+// invariants: inner inclusion, single inner owner, data agreement. The
+// group scopes the check to the device's own L2 and L1s.
+func (s *System) auditInnerHierarchy(grp *innerGroup) error {
 	type innerClaim struct {
 		name  string
 		state accel.InnerState
 		data  *mem.Block
 	}
 	claims := make(map[mem.Addr][]innerClaim)
-	for _, l1 := range s.InnerL1s {
+	for _, l1 := range grp.l1s {
 		l1 := l1
 		l1.VisitStable(func(addr mem.Addr, st accel.InnerState, data *mem.Block) {
 			claims[addr] = append(claims[addr], innerClaim{l1.Name(), st, data})
@@ -280,7 +286,7 @@ func (s *System) auditInnerHierarchy() error {
 	}
 	l2lines := make(map[mem.Addr]*mem.Block)
 	owners := make(map[mem.Addr]coherence.NodeID)
-	s.AccelL2.VisitStable(func(addr mem.Addr, _ accel.AState, owner coherence.NodeID, _ int, data *mem.Block, _ bool) {
+	grp.l2.VisitStable(func(addr mem.Addr, _ accel.AState, owner coherence.NodeID, _ int, data *mem.Block, _ bool) {
 		l2lines[addr] = data
 		owners[addr] = owner
 	})

@@ -28,10 +28,11 @@ import (
 type HostKind int
 
 const (
-	HostHammer HostKind = iota
-	HostMESI
+	HostHammer HostKind = iota // AMD-Hammer-style broadcast protocol
+	HostMESI                   // directory MESI with an inclusive L2
 )
 
+// String returns the host name used in spec strings and shard names.
 func (h HostKind) String() string {
 	if h == HostHammer {
 		return "hammer"
@@ -49,13 +50,16 @@ const (
 	// OrgHostSide: no accelerator cache; every access crosses to a
 	// host-side cache — safe but slow (Fig. 2b).
 	OrgHostSide
-	// OrgXGFull1L / OrgXGTxn1L: Crossing Guard with a per-core
-	// single-level accelerator L1 (Fig. 2c).
+	// OrgXGFull1L / OrgXGTxn1L: Crossing Guard (Full State /
+	// Transactional) with a per-core single-level accelerator L1
+	// (Fig. 2c).
 	OrgXGFull1L
+	// OrgXGTxn1L is the Transactional-guard variant of OrgXGFull1L.
 	OrgXGTxn1L
 	// OrgXGFull2L / OrgXGTxn2L: Crossing Guard with private L1s behind a
 	// shared accelerator L2 (Fig. 2d).
 	OrgXGFull2L
+	// OrgXGTxn2L is the Transactional-guard variant of OrgXGFull2L.
 	OrgXGTxn2L
 	// OrgXGWeak: the weakly-coherent accelerator hierarchy of §2.1 —
 	// incoherent private L1s with explicit flush, behind a fully
@@ -68,6 +72,7 @@ const (
 
 var orgNames = [...]string{"accel-side", "host-side", "xg-full/1L", "xg-txn/1L", "xg-full/2L", "xg-txn/2L", "xg-weak"}
 
+// String returns the organization name used in spec strings and reports.
 func (o Org) String() string { return orgNames[o] }
 
 // UsesXG reports whether the organization includes Crossing Guard.
@@ -87,7 +92,10 @@ func (o Org) Mode() core.Mode {
 // AllOrgs lists the six organizations per host.
 var AllOrgs = []Org{OrgAccelSide, OrgHostSide, OrgXGFull1L, OrgXGTxn1L, OrgXGFull2L, OrgXGTxn2L}
 
-// Node id layout.
+// Node id layout. Accelerator device d's components live at the base id
+// plus d*DeviceStride, so device 0 keeps the historical single-device
+// ids exactly and every device's node ids encode which device they
+// belong to (DeviceOf recovers the index).
 const (
 	nodeHost    coherence.NodeID = 1   // hammer directory / mesi L2
 	nodeCPU     coherence.NodeID = 10  // CPU cache i
@@ -97,6 +105,30 @@ const (
 	nodeAccel   coherence.NodeID = 200 // accelerator cache i
 	nodeAccSeq  coherence.NodeID = 300 // accelerator sequencer i
 )
+
+// DeviceStride separates the node-id ranges of accelerator devices:
+// device d's guard, caches, and sequencers use the device-0 base ids
+// plus d*DeviceStride.
+const DeviceStride coherence.NodeID = 1000
+
+// DeviceOf recovers the accelerator device index an accelerator-side
+// node id belongs to (0 for device 0's historical id range).
+func DeviceOf(id coherence.NodeID) int { return int(id / DeviceStride) }
+
+// devID places a base+index node id into device d's id range.
+func devID(d int, base coherence.NodeID, i int) coherence.NodeID {
+	return base + DeviceStride*coherence.NodeID(d) + coherence.NodeID(i)
+}
+
+// devName prefixes component names with the device index for devices
+// past the first, leaving device 0's historical names untouched (golden
+// traces and single-accelerator reports depend on them).
+func devName(d int, name string) string {
+	if d == 0 {
+		return name
+	}
+	return fmt.Sprintf("d%d.%s", d, name)
+}
 
 // Latencies models the interconnect distances (DESIGN.md §7).
 type Latencies struct {
@@ -119,7 +151,20 @@ type Spec struct {
 	Org        Org
 	CPUs       int
 	AccelCores int
-	Seed       int64
+	// Accels is the number of accelerator devices attached to the host
+	// (0 and 1 both mean one device, the historical machine). Each device
+	// gets its own complete accelerator hierarchy — and, for XG
+	// organizations, its own guard(s) — in the node-id range
+	// base+device*DeviceStride; devices share the host protocol and
+	// therefore see each other only through it.
+	Accels int
+	Seed   int64
+	// Shards sets each guard's address-shard count (power of two; 0/1 =
+	// the single-shard degenerate case). Purely state organization:
+	// timing is identical for every value.
+	Shards int
+	// BatchGrants enables the guards' per-tick grant batching.
+	BatchGrants bool
 	// Small shrinks every cache for stress testing.
 	Small bool
 	// Perms, when set, is installed as the guard's permission table.
@@ -167,13 +212,22 @@ type Spec struct {
 	// accelerator cache hierarchy: it is invoked once per guard with the
 	// accelerator-side node id and the guard id, must register a
 	// controller under that id, and returns an outstanding-count
-	// function (may be nil). The fuzz harness uses this to attach
-	// pathological accelerators (paper §4.2).
+	// function (may be nil). With several devices it runs once per guard
+	// per device; DeviceOf(accelID) recovers which device is being
+	// built. The fuzz harness uses this to attach pathological
+	// accelerators (paper §4.2).
 	CustomAccel func(s *System, accelID, xgID coherence.NodeID) func() int
 }
 
-// Name renders the configuration id used in reports.
-func (s Spec) Name() string { return fmt.Sprintf("%v/%v", s.Host, s.Org) }
+// Name renders the configuration id used in reports; multi-device specs
+// carry an /aN suffix so their report rows never collide with
+// single-device rows.
+func (s Spec) Name() string {
+	if s.Accels > 1 {
+		return fmt.Sprintf("%v/%v/a%d", s.Host, s.Org, s.Accels)
+	}
+	return fmt.Sprintf("%v/%v", s.Host, s.Org)
+}
 
 // System is a composed machine.
 type System struct {
@@ -205,11 +259,14 @@ type System struct {
 	ML2     *mesi.L2
 	ML1s    []*mesi.L1
 
-	// Accelerator handles (by organization).
+	// Accelerator handles (by organization). The per-device slices are
+	// flat across devices in build order; AccelL2 aliases AccelL2s[0]
+	// for single-device callers.
 	AccelL1s     []*accel.L1Cache // 1L XG organizations
 	InnerL1s     []*accel.InnerL1 // 2L XG organizations
 	AccelL2      *accel.SharedL2
-	WeakL1s      []*accel.WeakL1 // weak hierarchy (OrgXGWeak)
+	AccelL2s     []*accel.SharedL2 // one per two-level device
+	WeakL1s      []*accel.WeakL1   // weak hierarchy (OrgXGWeak)
 	WeakL2C      *accel.WeakL2
 	AccelHCaches []*hammer.Cache // accel-side / host-side with hammer
 	AccelMCaches []*mesi.L1      // accel-side / host-side with MESI
@@ -219,6 +276,28 @@ type System struct {
 	// of its accelerator's resident lines (level 0=S,1=E,2=M), used by
 	// the audit to check Full State table exactness.
 	guardAccelView []func() map[mem.Addr]int
+	// accelSeqDevs holds, parallel to AccelSeqs, the device index each
+	// accelerator sequencer belongs to (consistency streams tag records
+	// with device+1 so the offline checker can attribute observations).
+	accelSeqDevs []int
+	// innerGroups pairs each two-level device's shared L2 with its own
+	// inner L1s, so the inner-hierarchy audit never mixes devices.
+	innerGroups []innerGroup
+}
+
+// innerGroup is one two-level device's shared L2 plus its inner L1s.
+type innerGroup struct {
+	l2  *accel.SharedL2
+	l1s []*accel.InnerL1
+}
+
+// AccelSeqDevice returns the device index AccelSeqs[i] belongs to
+// (0 for the first accelerator; matches the d in "d<d>." names).
+func (s *System) AccelSeqDevice(i int) int {
+	if i < 0 || i >= len(s.accelSeqDevs) {
+		return 0
+	}
+	return s.accelSeqDevs[i]
 }
 
 // Build wires the machine described by spec.
@@ -228,6 +307,14 @@ func Build(spec Spec) *System {
 	}
 	if spec.AccelCores <= 0 {
 		spec.AccelCores = 2
+	}
+	if spec.Accels <= 0 {
+		spec.Accels = 1
+	}
+	if spec.Org == OrgXGWeak {
+		// The weak hierarchy keeps its single-device wiring; replicating
+		// incoherent-L1 flush semantics across devices is out of scope.
+		spec.Accels = 1
 	}
 	if spec.Timeout == 0 {
 		spec.Timeout = 100_000
@@ -265,8 +352,18 @@ func Build(spec Spec) *System {
 	}
 	if spec.Consistency != nil {
 		s.Consistency = spec.Consistency
-		for i, sq := range s.Sequencers() {
-			sq.Rec = spec.Consistency.Stream(i, sq.Name())
+		// CPU cores record with accel id 0; device d's cores with d+1, so
+		// the offline checker can attribute every observation — and
+		// cross-accelerator violations name both devices involved.
+		for i, sq := range s.CPUSeqs {
+			sq.Rec = spec.Consistency.DeviceStream(i, sq.Name(), 0)
+		}
+		for j, sq := range s.AccelSeqs {
+			dev := 0
+			if j < len(s.accelSeqDevs) {
+				dev = s.accelSeqDevs[j]
+			}
+			sq.Rec = spec.Consistency.DeviceStream(len(s.CPUSeqs)+j, sq.Name(), dev+1)
 		}
 	}
 	return s
@@ -315,6 +412,8 @@ func (s *System) guardCfg(spec Spec, lat Latencies) core.Config {
 		DisableAfter:    spec.DisableAfter,
 		RecallRetries:   spec.RecallRetries,
 		QuarantineAfter: spec.QuarantineAfter,
+		Shards:          spec.Shards,
+		BatchGrants:     spec.BatchGrants,
 	}
 }
 
@@ -324,15 +423,16 @@ func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 	s.HDir.Cov.OnRecord = obs.StateRecorder(s.Obs, "hammer.dir")
 	s.outstandingFns = append(s.outstandingFns, s.HDir.Outstanding)
 
-	// Count the caches that will participate in broadcasts.
+	// Count the caches that will participate in broadcasts (each
+	// accelerator device contributes its own set).
 	nCaches := spec.CPUs
 	switch spec.Org {
 	case OrgAccelSide, OrgHostSide:
-		nCaches += spec.AccelCores
+		nCaches += spec.Accels * spec.AccelCores
 	case OrgXGFull1L, OrgXGTxn1L:
-		nCaches += spec.AccelCores // one guard per accelerator core
+		nCaches += spec.Accels * spec.AccelCores // one guard per accelerator core
 	default:
-		nCaches++ // one guard in front of the shared accelerator L2
+		nCaches += spec.Accels // one guard in front of each shared accelerator L2
 	}
 
 	nCaches += spec.ExtraHammerPeers
@@ -350,61 +450,66 @@ func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 		s.Fab.SetRoutePair(sq.ID(), c.ID(), network.Config{Latency: lat.CoreToCache, Ordered: true})
 	}
 
-	switch spec.Org {
-	case OrgAccelSide, OrgHostSide:
-		// The accelerator's cache is sized like the accelerator L1 of
-		// the guard organizations, for a fair comparison.
-		acfg := cfg
-		if !spec.Small {
-			acfg.Sets, acfg.Ways = 64, 4
-		}
-		for i := 0; i < spec.AccelCores; i++ {
-			id := nodeAccel + coherence.NodeID(i)
-			c := hammer.NewCache(id, fmt.Sprintf("hammer.A[%d]", i),
-				s.Eng, s.Fab, nodeHost, responses, acfg, s.Log)
-			c.Cov.OnRecord = obs.StateRecorder(s.Obs, "hammer.cache")
-			s.AccelHCaches = append(s.AccelHCaches, c)
-			s.HDir.AddPeer(c.ID())
-			s.outstandingFns = append(s.outstandingFns, c.Outstanding)
-			sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, c.ID())
-			s.AccelSeqs = append(s.AccelSeqs, sq)
-			if spec.Org == OrgAccelSide {
-				// Cache at the accelerator: cheap hits, every protocol
-				// message crosses.
-				s.Fab.SetRoutePair(sq.ID(), c.ID(), network.Config{Latency: lat.CoreToCache, Ordered: true})
-				s.crossingRoutes(c.ID(), lat)
-			} else {
-				// Cache at the host: every access crosses.
-				s.Fab.SetRoutePair(sq.ID(), c.ID(), network.Config{Latency: lat.Crossing, Ordered: true})
+	for d := 0; d < spec.Accels; d++ {
+		switch spec.Org {
+		case OrgAccelSide, OrgHostSide:
+			// The accelerator's cache is sized like the accelerator L1 of
+			// the guard organizations, for a fair comparison.
+			acfg := cfg
+			if !spec.Small {
+				acfg.Sets, acfg.Ways = 64, 4
 			}
-		}
-	case OrgXGFull1L, OrgXGTxn1L:
-		for i := 0; i < spec.AccelCores; i++ {
-			xgID := nodeXG + coherence.NodeID(i)
-			acID := nodeAccel + coherence.NodeID(i)
-			g := core.NewHammerGuard(xgID, fmt.Sprintf("xg[%d]", i), s.Eng, s.Fab,
-				acID, nodeHost, responses, s.guardCfg(spec, lat), s.Log)
+			for i := 0; i < spec.AccelCores; i++ {
+				id := devID(d, nodeAccel, i)
+				c := hammer.NewCache(id, devName(d, fmt.Sprintf("hammer.A[%d]", i)),
+					s.Eng, s.Fab, nodeHost, responses, acfg, s.Log)
+				c.Cov.OnRecord = obs.StateRecorder(s.Obs, "hammer.cache")
+				s.AccelHCaches = append(s.AccelHCaches, c)
+				s.HDir.AddPeer(c.ID())
+				s.outstandingFns = append(s.outstandingFns, c.Outstanding)
+				sq := seq.New(devID(d, nodeAccSeq, i), devName(d, fmt.Sprintf("acc[%d]", i)), s.Eng, s.Fab, c.ID())
+				s.AccelSeqs = append(s.AccelSeqs, sq)
+				s.accelSeqDevs = append(s.accelSeqDevs, d)
+				if spec.Org == OrgAccelSide {
+					// Cache at the accelerator: cheap hits, every protocol
+					// message crosses.
+					s.Fab.SetRoutePair(sq.ID(), c.ID(), network.Config{Latency: lat.CoreToCache, Ordered: true})
+					s.crossingRoutes(c.ID(), lat)
+				} else {
+					// Cache at the host: every access crosses.
+					s.Fab.SetRoutePair(sq.ID(), c.ID(), network.Config{Latency: lat.Crossing, Ordered: true})
+				}
+			}
+		case OrgXGFull1L, OrgXGTxn1L:
+			for i := 0; i < spec.AccelCores; i++ {
+				xgID := devID(d, nodeXG, i)
+				acID := devID(d, nodeAccel, i)
+				g := core.NewHammerGuard(xgID, devName(d, fmt.Sprintf("xg[%d]", i)), s.Eng, s.Fab,
+					acID, nodeHost, responses, s.guardCfg(spec, lat), s.Log)
+				g.SetAccelTag(d)
+				g.AttachObs(s.Obs)
+				s.Guards = append(s.Guards, g)
+				s.HDir.AddPeer(g.ID())
+				s.outstandingFns = append(s.outstandingFns, g.Outstanding)
+				s.attachAccelL1(spec, lat, acID, xgID, d, i)
+			}
+		default: // two-level
+			xgID := devID(d, nodeXG, 0)
+			g := core.NewHammerGuard(xgID, devName(d, "xg"), s.Eng, s.Fab,
+				devID(d, nodeAccelL2, 0), nodeHost, responses, s.guardCfg(spec, lat), s.Log)
+			g.SetAccelTag(d)
 			g.AttachObs(s.Obs)
 			s.Guards = append(s.Guards, g)
 			s.HDir.AddPeer(g.ID())
 			s.outstandingFns = append(s.outstandingFns, g.Outstanding)
-			s.attachAccelL1(spec, lat, acID, xgID, i)
+			s.buildTwoLevelAccel(spec, lat, xgID, d)
 		}
-	default: // two-level
-		xgID := nodeXG
-		g := core.NewHammerGuard(xgID, "xg", s.Eng, s.Fab,
-			nodeAccelL2, nodeHost, responses, s.guardCfg(spec, lat), s.Log)
-		g.AttachObs(s.Obs)
-		s.Guards = append(s.Guards, g)
-		s.HDir.AddPeer(g.ID())
-		s.outstandingFns = append(s.outstandingFns, g.Outstanding)
-		s.buildTwoLevelAccel(spec, lat, xgID)
 	}
 }
 
-// attachAccelL1 wires a single-level accelerator cache (or the custom
-// accelerator provided by the spec) behind one guard.
-func (s *System) attachAccelL1(spec Spec, lat Latencies, acID, xgID coherence.NodeID, i int) {
+// attachAccelL1 wires device d's single-level accelerator cache (or the
+// custom accelerator provided by the spec) behind one guard.
+func (s *System) attachAccelL1(spec Spec, lat Latencies, acID, xgID coherence.NodeID, d, i int) {
 	s.Fab.SetRoutePair(acID, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
 	if spec.CustomAccel != nil {
 		s.guardAccelView = append(s.guardAccelView, nil)
@@ -413,12 +518,13 @@ func (s *System) attachAccelL1(spec Spec, lat Latencies, acID, xgID coherence.No
 		}
 		return
 	}
-	l1 := accel.NewL1Cache(acID, fmt.Sprintf("accelL1[%d]", i), s.Eng, s.Fab, xgID, s.accelCfg(spec.Small))
+	l1 := accel.NewL1Cache(acID, devName(d, fmt.Sprintf("accelL1[%d]", i)), s.Eng, s.Fab, xgID, s.accelCfg(spec.Small))
 	s.AccelL1s = append(s.AccelL1s, l1)
 	s.guardAccelView = append(s.guardAccelView, accelL1View(l1))
 	s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
-	sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, acID)
+	sq := seq.New(devID(d, nodeAccSeq, i), devName(d, fmt.Sprintf("acc[%d]", i)), s.Eng, s.Fab, acID)
 	s.AccelSeqs = append(s.AccelSeqs, sq)
+	s.accelSeqDevs = append(s.accelSeqDevs, d)
 	s.Fab.SetRoutePair(sq.ID(), acID, network.Config{Latency: lat.CoreToCache, Ordered: true})
 }
 
@@ -439,75 +545,89 @@ func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
 		s.Fab.SetRoutePair(sq.ID(), l1.ID(), network.Config{Latency: lat.CoreToCache, Ordered: true})
 	}
 
-	switch spec.Org {
-	case OrgAccelSide, OrgHostSide:
-		for i := 0; i < spec.AccelCores; i++ {
-			id := nodeAccel + coherence.NodeID(i)
-			l1 := mesi.NewL1(id, fmt.Sprintf("mesi.A[%d]", i), s.Eng, s.Fab, nodeHost, cfg, s.Log)
-			l1.Cov.OnRecord = obs.StateRecorder(s.Obs, "mesi.L1")
-			s.AccelMCaches = append(s.AccelMCaches, l1)
-			s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
-			sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, id)
-			s.AccelSeqs = append(s.AccelSeqs, sq)
-			if spec.Org == OrgAccelSide {
-				s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
-				s.crossingRoutes(id, lat)
-			} else {
-				s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.Crossing, Ordered: true})
+	for d := 0; d < spec.Accels; d++ {
+		switch spec.Org {
+		case OrgAccelSide, OrgHostSide:
+			for i := 0; i < spec.AccelCores; i++ {
+				id := devID(d, nodeAccel, i)
+				l1 := mesi.NewL1(id, devName(d, fmt.Sprintf("mesi.A[%d]", i)), s.Eng, s.Fab, nodeHost, cfg, s.Log)
+				l1.Cov.OnRecord = obs.StateRecorder(s.Obs, "mesi.L1")
+				s.AccelMCaches = append(s.AccelMCaches, l1)
+				s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
+				sq := seq.New(devID(d, nodeAccSeq, i), devName(d, fmt.Sprintf("acc[%d]", i)), s.Eng, s.Fab, id)
+				s.AccelSeqs = append(s.AccelSeqs, sq)
+				s.accelSeqDevs = append(s.accelSeqDevs, d)
+				if spec.Org == OrgAccelSide {
+					s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
+					s.crossingRoutes(id, lat)
+				} else {
+					s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.Crossing, Ordered: true})
+				}
 			}
-		}
-	case OrgXGFull1L, OrgXGTxn1L:
-		for i := 0; i < spec.AccelCores; i++ {
-			xgID := nodeXG + coherence.NodeID(i)
-			acID := nodeAccel + coherence.NodeID(i)
-			g := core.NewMESIGuard(xgID, fmt.Sprintf("xg[%d]", i), s.Eng, s.Fab,
-				acID, nodeHost, s.guardCfg(spec, lat), s.Log)
+		case OrgXGFull1L, OrgXGTxn1L:
+			for i := 0; i < spec.AccelCores; i++ {
+				xgID := devID(d, nodeXG, i)
+				acID := devID(d, nodeAccel, i)
+				g := core.NewMESIGuard(xgID, devName(d, fmt.Sprintf("xg[%d]", i)), s.Eng, s.Fab,
+					acID, nodeHost, s.guardCfg(spec, lat), s.Log)
+				g.SetAccelTag(d)
+				g.AttachObs(s.Obs)
+				s.Guards = append(s.Guards, g)
+				s.outstandingFns = append(s.outstandingFns, g.Outstanding)
+				s.attachAccelL1(spec, lat, acID, xgID, d, i)
+			}
+		default:
+			xgID := devID(d, nodeXG, 0)
+			g := core.NewMESIGuard(xgID, devName(d, "xg"), s.Eng, s.Fab,
+				devID(d, nodeAccelL2, 0), nodeHost, s.guardCfg(spec, lat), s.Log)
+			g.SetAccelTag(d)
 			g.AttachObs(s.Obs)
 			s.Guards = append(s.Guards, g)
 			s.outstandingFns = append(s.outstandingFns, g.Outstanding)
-			s.attachAccelL1(spec, lat, acID, xgID, i)
+			s.buildTwoLevelAccel(spec, lat, xgID, d)
 		}
-	default:
-		xgID := nodeXG
-		g := core.NewMESIGuard(xgID, "xg", s.Eng, s.Fab,
-			nodeAccelL2, nodeHost, s.guardCfg(spec, lat), s.Log)
-		g.AttachObs(s.Obs)
-		s.Guards = append(s.Guards, g)
-		s.outstandingFns = append(s.outstandingFns, g.Outstanding)
-		s.buildTwoLevelAccel(spec, lat, xgID)
 	}
 }
 
-// buildTwoLevelAccel wires the Figure 2d accelerator: inner L1s behind
-// the shared accelerator L2 which talks to the guard.
-func (s *System) buildTwoLevelAccel(spec Spec, lat Latencies, xgID coherence.NodeID) {
+// buildTwoLevelAccel wires device d's Figure 2d accelerator: inner L1s
+// behind the device's shared accelerator L2 which talks to its guard.
+func (s *System) buildTwoLevelAccel(spec Spec, lat Latencies, xgID coherence.NodeID, d int) {
+	l2ID := devID(d, nodeAccelL2, 0)
 	if spec.Org == OrgXGWeak && spec.CustomAccel == nil {
 		s.buildWeakAccel(spec, lat, xgID)
 		return
 	}
 	if spec.CustomAccel != nil {
 		s.guardAccelView = append(s.guardAccelView, nil)
-		s.Fab.SetRoutePair(nodeAccelL2, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
-		if fn := spec.CustomAccel(s, nodeAccelL2, xgID); fn != nil {
+		s.Fab.SetRoutePair(l2ID, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
+		if fn := spec.CustomAccel(s, l2ID, xgID); fn != nil {
 			s.outstandingFns = append(s.outstandingFns, fn)
 		}
 		return
 	}
 	acfg := s.accelCfg(spec.Small)
-	s.AccelL2 = accel.NewSharedL2(nodeAccelL2, "accelL2", s.Eng, s.Fab, xgID, acfg)
-	s.guardAccelView = append(s.guardAccelView, sharedL2View(s.AccelL2))
-	s.outstandingFns = append(s.outstandingFns, s.AccelL2.Outstanding)
-	s.Fab.SetRoutePair(nodeAccelL2, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
-	for i := 0; i < spec.AccelCores; i++ {
-		id := nodeAccel + coherence.NodeID(i)
-		l1 := accel.NewInnerL1(id, fmt.Sprintf("accel2L.L1[%d]", i), s.Eng, s.Fab, nodeAccelL2, acfg)
-		s.InnerL1s = append(s.InnerL1s, l1)
-		s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
-		sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, id)
-		s.AccelSeqs = append(s.AccelSeqs, sq)
-		s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
-		s.Fab.SetRoutePair(id, nodeAccelL2, network.Config{Latency: lat.AccelHop, Jitter: 1, Ordered: true})
+	l2 := accel.NewSharedL2(l2ID, devName(d, "accelL2"), s.Eng, s.Fab, xgID, acfg)
+	if d == 0 {
+		s.AccelL2 = l2
 	}
+	s.AccelL2s = append(s.AccelL2s, l2)
+	group := innerGroup{l2: l2}
+	s.guardAccelView = append(s.guardAccelView, sharedL2View(l2))
+	s.outstandingFns = append(s.outstandingFns, l2.Outstanding)
+	s.Fab.SetRoutePair(l2ID, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
+	for i := 0; i < spec.AccelCores; i++ {
+		id := devID(d, nodeAccel, i)
+		l1 := accel.NewInnerL1(id, devName(d, fmt.Sprintf("accel2L.L1[%d]", i)), s.Eng, s.Fab, l2ID, acfg)
+		s.InnerL1s = append(s.InnerL1s, l1)
+		group.l1s = append(group.l1s, l1)
+		s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
+		sq := seq.New(devID(d, nodeAccSeq, i), devName(d, fmt.Sprintf("acc[%d]", i)), s.Eng, s.Fab, id)
+		s.AccelSeqs = append(s.AccelSeqs, sq)
+		s.accelSeqDevs = append(s.accelSeqDevs, d)
+		s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
+		s.Fab.SetRoutePair(id, l2ID, network.Config{Latency: lat.AccelHop, Jitter: 1, Ordered: true})
+	}
+	s.innerGroups = append(s.innerGroups, group)
 }
 
 // buildWeakAccel wires the weakly-coherent hierarchy: incoherent WeakL1s
@@ -525,6 +645,7 @@ func (s *System) buildWeakAccel(spec Spec, lat Latencies, xgID coherence.NodeID)
 		s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
 		sq := seq.New(nodeAccSeq+coherence.NodeID(i), fmt.Sprintf("acc[%d]", i), s.Eng, s.Fab, id)
 		s.AccelSeqs = append(s.AccelSeqs, sq)
+		s.accelSeqDevs = append(s.accelSeqDevs, 0)
 		s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
 		s.Fab.SetRoutePair(id, nodeAccelL2, network.Config{Latency: lat.AccelHop, Jitter: 1, Ordered: true})
 	}

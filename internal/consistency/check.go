@@ -64,6 +64,9 @@ func (v *Violation) String() string {
 }
 
 func fmtRec(r Rec) string {
+	if r.Accel != 0 {
+		return fmt.Sprintf("[a%d core %d %s=0x%02x t=%d..%d]", r.Accel, r.Core, r.Op, r.Val, r.Issued, r.Done)
+	}
 	return fmt.Sprintf("[core %d %s=0x%02x t=%d..%d]", r.Core, r.Op, r.Val, r.Issued, r.Done)
 }
 

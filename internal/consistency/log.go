@@ -1,8 +1,12 @@
-// Observation-log I/O: the "xgobs v1" line format written by the
-// campaign CLIs' -obs flag and read back by cmd/xgcheck. The format is
+// Observation-log I/O: the "xgobs" line format written by the campaign
+// CLIs' -obs flag and read back by cmd/xgcheck. The format is
 // line-oriented and hand-rolled like the obs JSONL exporter: fixed
 // field order, no maps, no reflection, so a given record set always
 // renders to identical bytes.
+//
+// Writers emit xgobs v2, which adds the accel column (the device tag of
+// the recording core) between shard and core. ReadLog accepts both v2
+// and the historical v1 format — v1 records parse with accel 0.
 package consistency
 
 import (
@@ -17,13 +21,16 @@ import (
 	"crossingguard/internal/sim"
 )
 
-// logHeader is the first line of every observation log.
-const logHeader = "# xgobs v1"
+// logHeader is the first line of every observation log written today.
+const logHeader = "# xgobs v2"
+
+// logHeaderV1 is the historical header; ReadLog still accepts it.
+const logHeaderV1 = "# xgobs v1"
 
 // logColumns documents the field order of every record line.
-const logColumns = "# shard core op addr val issued done"
+const logColumns = "# shard accel core op addr val issued done"
 
-// WriteLog writes recs as one xgobs v1 log, every line tagged with the
+// WriteLog writes recs as one xgobs v2 log, every line tagged with the
 // given shard index. Records are written in the order given (callers
 // pass Recorder.Merged() or another canonical order).
 func WriteLog(w io.Writer, shard int, recs []Rec) error {
@@ -41,8 +48,8 @@ func WriteLog(w io.Writer, shard int, recs []Rec) error {
 // shard in index order).
 func writeShard(w io.Writer, shard int, recs []Rec) error {
 	for _, r := range recs {
-		if _, err := fmt.Fprintf(w, "%d %d %s 0x%x 0x%02x %d %d\n",
-			shard, r.Core, r.Op, uint64(r.Addr), r.Val, uint64(r.Issued), uint64(r.Done)); err != nil {
+		if _, err := fmt.Fprintf(w, "%d %d %d %s 0x%x 0x%02x %d %d\n",
+			shard, r.Accel, r.Core, r.Op, uint64(r.Addr), r.Val, uint64(r.Issued), uint64(r.Done)); err != nil {
 			return err
 		}
 	}
@@ -85,15 +92,16 @@ type ShardRecs struct {
 	Recs  []Rec
 }
 
-// ReadLog parses an xgobs v1 log and returns the records grouped by
-// shard index, shards in ascending order, records in file order within
-// each shard.
+// ReadLog parses an xgobs log — v2, or the accel-less v1 — and returns
+// the records grouped by shard index, shards in ascending order,
+// records in file order within each shard.
 func ReadLog(r io.Reader) ([]ShardRecs, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	byShard := map[int][]Rec{}
 	lineNo := 0
 	sawHeader := false
+	v1 := false
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -102,7 +110,11 @@ func ReadLog(r io.Reader) ([]ShardRecs, error) {
 		}
 		if strings.HasPrefix(line, "#") {
 			if lineNo == 1 {
-				if line != logHeader {
+				switch line {
+				case logHeader:
+				case logHeaderV1:
+					v1 = true
+				default:
 					return nil, fmt.Errorf("consistency: not an observation log (got %q, want %q)", line, logHeader)
 				}
 				sawHeader = true
@@ -113,12 +125,24 @@ func ReadLog(r io.Reader) ([]ShardRecs, error) {
 			return nil, fmt.Errorf("consistency: line %d: missing %q header", lineNo, logHeader)
 		}
 		f := strings.Fields(line)
-		if len(f) != 7 {
-			return nil, fmt.Errorf("consistency: line %d: want 7 fields, got %d", lineNo, len(f))
+		want := 8
+		if v1 {
+			want = 7
+		}
+		if len(f) != want {
+			return nil, fmt.Errorf("consistency: line %d: want %d fields, got %d", lineNo, want, len(f))
 		}
 		shard, err := strconv.Atoi(f[0])
 		if err != nil {
 			return nil, fmt.Errorf("consistency: line %d: bad shard %q", lineNo, f[0])
+		}
+		accel := int64(0)
+		if !v1 {
+			accel, err = strconv.ParseInt(f[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("consistency: line %d: bad accel %q", lineNo, f[1])
+			}
+			f = f[1:] // the remaining columns line up with v1
 		}
 		core, err := strconv.ParseInt(f[1], 10, 32)
 		if err != nil {
@@ -146,7 +170,7 @@ func ReadLog(r io.Reader) ([]ShardRecs, error) {
 		}
 		byShard[shard] = append(byShard[shard], Rec{
 			Issued: sim.Time(issued), Done: sim.Time(done),
-			Addr: mem.Addr(addr), Core: int32(core), Op: op, Val: byte(val),
+			Addr: mem.Addr(addr), Core: int32(core), Accel: int32(accel), Op: op, Val: byte(val),
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -181,8 +205,12 @@ func Tail(recs []Rec, n int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "--- observation tail (last %d of %d records) ---\n", len(recs)-start, len(recs))
 	for _, r := range recs[start:] {
-		fmt.Fprintf(&b, "t=%d..%d core=%d %s %v = 0x%02x\n",
-			uint64(r.Issued), uint64(r.Done), r.Core, r.Op, r.Addr, r.Val)
+		dev := ""
+		if r.Accel != 0 {
+			dev = fmt.Sprintf(" accel=%d", r.Accel)
+		}
+		fmt.Fprintf(&b, "t=%d..%d core=%d%s %s %v = 0x%02x\n",
+			uint64(r.Issued), uint64(r.Done), r.Core, dev, r.Op, r.Addr, r.Val)
 	}
 	return b.String()
 }

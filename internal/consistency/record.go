@@ -76,17 +76,23 @@ type Rec struct {
 	Done   sim.Time
 	Addr   mem.Addr
 	Core   int32
-	Op     Op
-	Val    byte
+	// Accel attributes the record to a device: 0 for host CPU cores,
+	// d+1 for accelerator device d's cores. The checker's invariants are
+	// device-blind (coherence is global), but violation reports carry the
+	// tag so a cross-accelerator SWMR break names both devices involved.
+	Accel int32
+	Op    Op
+	Val   byte
 }
 
 // Stream is one core's observation stream, append-only in completion
 // order. A nil Stream is a permanently-disabled instrument: Active
 // reports false and Record is a no-op.
 type Stream struct {
-	core int32
-	name string
-	recs []Rec
+	core  int32
+	accel int32
+	name  string
+	recs  []Rec
 }
 
 // Active reports whether records will be kept. It is the hot-path fast
@@ -101,7 +107,7 @@ func (s *Stream) Record(op Op, addr mem.Addr, val byte, issued, done sim.Time) {
 	}
 	s.recs = append(s.recs, Rec{
 		Issued: issued, Done: done, Addr: addr,
-		Core: s.core, Op: op, Val: val,
+		Core: s.core, Accel: s.accel, Op: op, Val: val,
 	})
 }
 
@@ -111,6 +117,14 @@ func (s *Stream) Core() int {
 		return -1
 	}
 	return int(s.core)
+}
+
+// Accel returns the stream's device tag (0 = host CPU, d+1 = device d).
+func (s *Stream) Accel() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.accel)
 }
 
 // Name returns the core name the stream was registered under.
@@ -153,8 +167,17 @@ func (r *Recorder) Active() bool { return r != nil }
 
 // Stream returns the stream for core (creating it on first sight), or
 // nil on a nil recorder — so wiring code can assign the result into a
-// sequencer unconditionally.
+// sequencer unconditionally. The stream records with device tag 0; use
+// DeviceStream to attribute a core to an accelerator device.
 func (r *Recorder) Stream(core int, name string) *Stream {
+	return r.DeviceStream(core, name, 0)
+}
+
+// DeviceStream returns the stream for core, tagging every record it
+// takes with the given device id (0 = host CPU, d+1 = accelerator
+// device d). The tag lives on the stream, so the sequencer's per-record
+// hot path is unchanged. Nil-safe like Stream.
+func (r *Recorder) DeviceStream(core int, name string, accel int) *Stream {
 	if r == nil {
 		return nil
 	}
@@ -163,7 +186,7 @@ func (r *Recorder) Stream(core int, name string) *Stream {
 			return s
 		}
 	}
-	s := &Stream{core: int32(core), name: name}
+	s := &Stream{core: int32(core), accel: int32(accel), name: name}
 	r.streams = append(r.streams, s)
 	return s
 }

@@ -9,10 +9,23 @@
 // every block the accelerator holds (a trusted inclusive directory), and
 // Transactional, which tracks only open transactions and relies on the
 // host-protocol tolerance modifications (hostproto/*.Config.TxnMods).
+//
+// # Sharded guard state
+//
+// One host fabric can carry several guards, each fronting its own
+// accelerator ("one instance of Crossing Guard per accelerator in the
+// system", §2). To keep a single guard's lookups O(1) as its footprint
+// grows, the guard's mutable state — block table, open transactions, and
+// the recall book — is split across a power-of-two number of address
+// shards selected by the block address (Config.Shards). Shard count 1 is
+// the degenerate case and behaves byte-for-byte like the unsharded
+// guard; higher counts only re-bucket the same maps, so simulated timing
+// is unchanged for any shard count.
 package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"crossingguard/internal/coherence"
 	"crossingguard/internal/mem"
@@ -32,6 +45,7 @@ const (
 	Transactional
 )
 
+// String returns the variant name used in traces and docs.
 func (m Mode) String() string {
 	if m == FullState {
 		return "FullState"
@@ -43,20 +57,21 @@ func (m Mode) String() string {
 type Grant int
 
 const (
-	GrantS Grant = iota
-	GrantE
-	GrantM
+	GrantS Grant = iota // Shared: read permission
+	GrantE              // Exclusive: clean write permission
+	GrantM              // Modified: dirty write permission
 )
 
+// String returns the one-letter grant name.
 func (g Grant) String() string { return [...]string{"S", "E", "M"}[g] }
 
 // GetKind classifies host-side get requests.
 type GetKind int
 
 const (
-	GetShared     GetKind = iota
-	GetSharedOnly         // non-upgradable (read-only pages, §3.2)
-	GetExcl
+	GetShared     GetKind = iota // upgradable shared request
+	GetSharedOnly                // non-upgradable (read-only pages, §3.2)
+	GetExcl                      // exclusive (write) request
 )
 
 // hostShim is the host-protocol-specific half of Crossing Guard. The
@@ -111,6 +126,41 @@ type Config struct {
 	// Unlike DisableAfter's silent drop, quarantine keeps answering so a
 	// confused-but-live accelerator observes its fencing.
 	QuarantineAfter int
+	// Shards is the power-of-two number of address shards the guard's
+	// block table, open-transaction maps, and recall book are split
+	// across. 0 and 1 both mean a single shard (the degenerate case,
+	// byte-identical to the historical unsharded guard); any other value
+	// must be a power of two. Sharding is pure state organization — it
+	// never changes simulated timing or message order.
+	Shards int
+	// BatchGrants queues completed grants and flushes them once per tick
+	// instead of sending each the moment its host transaction closes, so
+	// grants for disjoint blocks leave the guard as one per-tick batch.
+	// Off by default: batching reorders nothing but changes per-message
+	// departure ticks, so golden traces are only stable with it off.
+	BatchGrants bool
+}
+
+// guardShard is one address shard of the guard's mutable state. Every
+// map is keyed by line address; a block lives in exactly one shard
+// (selected by Guard.shard), so per-shard lookups stay O(1) no matter
+// how many blocks the accelerator touches.
+type guardShard struct {
+	txns  map[mem.Addr]*accelTxn // open accelerator-initiated transactions (1b)
+	hosts map[mem.Addr]*hostTxn  // open host-initiated recalls (2b, 2c)
+	table *blockTable            // Full State only
+
+	// ignoreInvAck marks addresses whose recall was resolved by a racing
+	// Put; the accelerator's InvAck (sent from B) is consumed silently.
+	ignoreInvAck map[mem.Addr]int
+}
+
+// pendingGrant is one queued accelerator grant awaiting the per-tick
+// batch flush (Config.BatchGrants).
+type pendingGrant struct {
+	ty   coherence.MsgType
+	addr mem.Addr
+	data *mem.Block
 }
 
 // Guard is one Crossing Guard instance: the trusted boundary between one
@@ -125,13 +175,20 @@ type Guard struct {
 	accel coherence.NodeID
 	shim  hostShim
 
-	txns  map[mem.Addr]*accelTxn // open accelerator-initiated transactions (1b)
-	hosts map[mem.Addr]*hostTxn  // open host-initiated recalls (2b, 2c)
-	table *blockTable            // Full State only
+	// shards holds the address-sharded guard state; shardMask is
+	// len(shards)-1 (power-of-two count).
+	shards    []guardShard
+	shardMask uint64
 
-	// ignoreInvAck marks addresses whose recall was resolved by a racing
-	// Put; the accelerator's InvAck (sent from B) is consumed silently.
-	ignoreInvAck map[mem.Addr]int
+	// accelTag is the device label stamped on this guard's trace events
+	// and per-accelerator metric names (0 for the first/only device, so
+	// single-accelerator traces and metric sets are unchanged).
+	accelTag int
+
+	// pending is the per-tick grant batch (Config.BatchGrants); its
+	// backing array is reused so steady-state batching allocates nothing.
+	pending      []pendingGrant
+	flushPending bool
 
 	// Disabled is set once the error policy shuts the accelerator out.
 	Disabled bool
@@ -150,13 +207,21 @@ type Guard struct {
 	RetriesSent     uint64 // Invalidates re-sent after a recall deadline expired
 	RateDelayed     uint64
 	ReqsBlocked     uint64 // requests dropped by guarantee enforcement
+	// RecallsCoalesced counts host recalls merged into an already-open
+	// recall for the same block (one Invalidate serves every waiter).
+	RecallsCoalesced uint64
+	// GrantsBatched / GrantBatches count grants delivered through the
+	// per-tick batch path and the number of flushes (Config.BatchGrants).
+	GrantsBatched uint64
+	GrantBatches  uint64
 
 	// Observability (nil-safe no-ops until AttachObs). The hot-path
 	// instruments are fetched once; per-code violation counters are
 	// looked up through obsReg on the cold violation path only.
-	obsReg    *obs.Registry
-	mPass     *obs.Counter
-	mCrossing *obs.Histogram
+	obsReg     *obs.Registry
+	mPass      *obs.Counter
+	mPassAccel *obs.Counter
+	mCrossing  *obs.Histogram
 }
 
 // accelTxn is an open accelerator-initiated transaction.
@@ -173,6 +238,11 @@ type hostTxn struct {
 	expect   Grant // what the guard believes the accelerator holds (Full State)
 	known    bool  // expect is authoritative
 	done     func(data *mem.Block, dirty bool, viaPut bool)
+	// waiters holds the completion callbacks of recalls coalesced onto
+	// this one: later host requests for the same block while this recall
+	// is in flight do not send a second Invalidate — they wait here and
+	// complete from the single response.
+	waiters []func(data *mem.Block, dirty bool, viaPut bool)
 	// gen numbers watchdog armings; a scheduled 2c timer only acts if the
 	// generation it captured is still current (and the txn still open and
 	// still the one registered for its address), so a canceled or
@@ -182,34 +252,83 @@ type hostTxn struct {
 	closed bool
 }
 
+// complete invokes the recall's completion callback plus every coalesced
+// waiter, in arrival order, with the same resolution. Callbacks copy the
+// block before sending it anywhere, so sharing the pointer is safe.
+func (ht *hostTxn) complete(data *mem.Block, dirty, viaPut bool) {
+	ht.done(data, dirty, viaPut)
+	for _, w := range ht.waiters {
+		w(data, dirty, viaPut)
+	}
+	ht.waiters = nil
+}
+
 // NewGuard builds the guard core; a shim must be attached with
 // attachShim (done by NewHammerGuard / NewMESIGuard).
 func newGuard(id coherence.NodeID, name string, eng *sim.Engine, fab *network.Fabric,
 	accel coherence.NodeID, cfg Config, sink coherence.ErrorSink) *Guard {
+	n := cfg.Shards
+	if n <= 1 {
+		n = 1
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("core: guard shard count %d is not a power of two", cfg.Shards))
+	}
 	g := &Guard{
 		id: id, name: name, eng: eng, fab: fab, cfg: cfg, sink: sink, accel: accel,
-		txns:         make(map[mem.Addr]*accelTxn),
-		hosts:        make(map[mem.Addr]*hostTxn),
-		ignoreInvAck: make(map[mem.Addr]int),
+		shards:    make([]guardShard, n),
+		shardMask: uint64(n - 1),
 	}
-	if cfg.Mode == FullState {
-		g.table = newBlockTable()
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.txns = make(map[mem.Addr]*accelTxn)
+		sh.hosts = make(map[mem.Addr]*hostTxn)
+		sh.ignoreInvAck = make(map[mem.Addr]int)
+		if cfg.Mode == FullState {
+			sh.table = newBlockTable()
+		}
 	}
 	fab.Register(g)
 	return g
 }
 
+// shard selects the state shard owning addr's block: the block index
+// masked by the power-of-two shard count, so consecutive blocks land in
+// consecutive shards and every byte of one block shares a shard.
+func (g *Guard) shard(addr mem.Addr) *guardShard {
+	return &g.shards[(uint64(addr.Line())/mem.BlockBytes)&g.shardMask]
+}
+
+// Shards reports the guard's shard count.
+func (g *Guard) Shards() int { return len(g.shards) }
+
+// SetAccelTag labels this guard with its accelerator device index
+// (0-based). Tag 0 — the first or only device — leaves trace events and
+// metric names exactly as before; nonzero tags stamp an accel field on
+// the guard's trace events and register per-accelerator metric variants
+// alongside the aggregates. Call before AttachObs.
+func (g *Guard) SetAccelTag(tag int) { g.accelTag = tag }
+
+// AccelTag reports the device label set by SetAccelTag.
+func (g *Guard) AccelTag() int { return g.accelTag }
+
+// metricSuffix is the per-accelerator metric-name suffix ("@a<tag>").
+func (g *Guard) metricSuffix() string { return "@a" + strconv.Itoa(g.accelTag) }
+
 // AttachObs registers the guard's instruments with r: the
 // guard.check.pass counter (requests that cleared every guarantee
 // check), per-code guard.violation.<code> counters (XG.G0a .. XG.G2c,
 // XG.BadMessage, XG.BadSource, XG.Disabled), and the xg.crossing.ticks
-// histogram measuring request acceptance to grant/writeback-ack.
-// Violations and recall timeouts are also emitted as structured events
-// on the fabric's trace bus when one is attached. A nil registry leaves
-// the guard uninstrumented.
+// histogram measuring request acceptance to grant/writeback-ack. Each
+// pass/violation counter also increments a per-accelerator variant
+// suffixed "@a<device>" so reports can break guarantee outcomes down by
+// accelerator. Violations and recall timeouts are also emitted as
+// structured events on the fabric's trace bus when one is attached. A
+// nil registry leaves the guard uninstrumented.
 func (g *Guard) AttachObs(r *obs.Registry) {
 	g.obsReg = r
 	g.mPass = r.Counter("guard.check.pass")
+	g.mPassAccel = r.Counter("guard.check.pass" + g.metricSuffix())
 	g.mCrossing = r.Histogram("xg.crossing.ticks")
 }
 
@@ -229,7 +348,9 @@ func (g *Guard) Name() string { return g.name }
 // that is not one of the interface's eight message types — in particular
 // raw host-protocol messages a malicious accelerator might forge — is
 // dropped and reported, never forwarded (the API-boundary property of
-// §1/§2).
+// §1/§2). The source check also rejects interface messages forged by a
+// different accelerator device: each guard accepts interface traffic
+// from exactly the one accelerator node it fronts.
 func (g *Guard) Recv(m *coherence.Msg) {
 	fromAccel := m.Src == g.accel
 	switch {
@@ -264,10 +385,11 @@ func (g *Guard) after(fn func()) { g.eng.Schedule(g.cfg.GuardLat, fn) }
 func (g *Guard) violation(code, detail string, addr mem.Addr) {
 	g.errors++
 	g.obsReg.Counter("guard.violation." + code).Inc()
+	g.obsReg.Counter("guard.violation." + code + g.metricSuffix()).Inc()
 	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindViolation,
-			Addr: addr, Payload: code + ": " + detail,
+			Addr: addr, Accel: g.accelTag, Payload: code + ": " + detail,
 		})
 	}
 	g.sink.ReportError(coherence.ProtocolError{
@@ -276,6 +398,7 @@ func (g *Guard) violation(code, detail string, addr mem.Addr) {
 	if g.cfg.DisableAfter > 0 && g.errors >= g.cfg.DisableAfter && !g.Disabled {
 		g.Disabled = true
 		g.obsReg.Counter("guard.violation.XG.Disabled").Inc()
+		g.obsReg.Counter("guard.violation.XG.Disabled" + g.metricSuffix()).Inc()
 		g.sink.ReportError(coherence.ProtocolError{
 			Where: g.name, Code: "XG.Disabled", Addr: addr,
 			Detail: fmt.Sprintf("accelerator disabled after %d violations", g.errors),
@@ -294,25 +417,29 @@ func (g *Guard) violation(code, detail string, addr mem.Addr) {
 func (g *Guard) enterQuarantine(addr mem.Addr) {
 	g.Quarantined = true
 	g.obsReg.Counter("guard.quarantine.entered").Inc()
-	if g.table != nil {
-		g.obsReg.Counter("guard.quarantine.fenced_lines").Add(uint64(g.table.entries()))
+	if g.cfg.Mode == FullState {
+		g.obsReg.Counter("guard.quarantine.fenced_lines").Add(uint64(g.TableEntries()))
 	}
 	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindQuarantine,
-			Addr: addr, Payload: fmt.Sprintf("accelerator quarantined after %d violations", g.errors),
+			Addr: addr, Accel: g.accelTag, Payload: fmt.Sprintf("accelerator quarantined after %d violations", g.errors),
 		})
 	}
 	g.sink.ReportError(coherence.ProtocolError{
 		Where: g.name, Code: "XG.Quarantined", Addr: addr,
 		Detail: fmt.Sprintf("accelerator quarantined after %d violations", g.errors),
 	})
-	// Resolve open recalls in address order (map iteration is randomized;
-	// resolution order must be deterministic). Mirrors recallTimeout's
-	// trusted-state answer without charging additional timeouts.
-	open := make([]mem.Addr, 0, len(g.hosts))
-	for a := range g.hosts {
-		open = append(open, a)
+	// Resolve open recalls in global address order across every shard
+	// (map iteration is randomized; resolution order must be
+	// deterministic — and independent of the shard count). Mirrors
+	// recallTimeout's trusted-state answer without charging additional
+	// timeouts.
+	var open []mem.Addr
+	for i := range g.shards {
+		for a := range g.shards[i].hosts {
+			open = append(open, a)
+		}
 	}
 	for i := 1; i < len(open); i++ {
 		for j := i; j > 0 && open[j] < open[j-1]; j-- {
@@ -320,12 +447,13 @@ func (g *Guard) enterQuarantine(addr mem.Addr) {
 		}
 	}
 	for _, a := range open {
-		ht := g.hosts[a]
+		sh := g.shard(a)
+		ht := sh.hosts[a]
 		g.obsReg.Counter("guard.quarantine.recalls").Inc()
 		g.closeRecall(a, ht)
 		g.answerFromTrusted(a, ht)
-		if g.table != nil {
-			g.table.drop(a)
+		if sh.table != nil {
+			sh.table.drop(a)
 		}
 	}
 }
@@ -342,18 +470,18 @@ func (g *Guard) enterQuarantine(addr mem.Addr) {
 // may adopt the zeros).
 func (g *Guard) answerFromTrusted(addr mem.Addr, ht *hostTxn) {
 	if !ht.wantData {
-		ht.done(nil, false, false)
+		ht.complete(nil, false, false)
 		return
 	}
 	if _, e := g.accelHolds(addr); e != nil && e.copy != nil {
-		ht.done(e.copy.Copy(), e.dirty, false)
+		ht.complete(e.copy.Copy(), e.dirty, false)
 		return
 	}
 	if ht.known {
-		ht.done(mem.Zero(), true, false)
+		ht.complete(mem.Zero(), true, false)
 		return
 	}
-	ht.done(nil, false, false)
+	ht.complete(nil, false, false)
 }
 
 // --- accelerator requests (GetS, GetM, PutM, PutE, PutS) ---
@@ -392,6 +520,7 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 		return
 	}
 	addr := m.Addr.Line()
+	sh := g.shard(addr)
 
 	// Guarantee 0: page permissions.
 	access := perm.ReadWrite
@@ -416,15 +545,15 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 	// Defer requests for lines with an open host-side transaction (e.g.
 	// a relinquish writeback still in flight): a cache never issues a
 	// Get while its own Put for the line is outstanding.
-	if _, open := g.txns[addr]; !open {
-		if _, recalling := g.hosts[addr]; !recalling && g.shim.busy(addr) {
+	if _, open := sh.txns[addr]; !open {
+		if _, recalling := sh.hosts[addr]; !recalling && g.shim.busy(addr) {
 			g.eng.Schedule(1, func() { g.processAccelRequest(m) })
 			return
 		}
 	}
 
 	// Guarantee 1b: at most one outstanding transaction per address.
-	if _, open := g.txns[addr]; open {
+	if _, open := sh.txns[addr]; open {
 		g.ReqsBlocked++
 		g.violation("XG.G1b", fmt.Sprintf("%v while a transaction is already open", m.Type), addr)
 		return
@@ -432,7 +561,7 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 	// A request racing with an open host recall: only a Put is
 	// meaningful (the legitimate Put/Inv race, §2.1); it resolves the
 	// recall. Gets during a recall are deferred until the recall closes.
-	if ht, open := g.hosts[addr]; open {
+	if ht, open := sh.hosts[addr]; open {
 		switch m.Type {
 		case coherence.APutM, coherence.APutE, coherence.APutS:
 			g.resolveRecallByPut(addr, ht, m)
@@ -446,8 +575,8 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 	// Guarantee 1a: request consistent with the stable accelerator
 	// state. Full State checks its table; Transactional relies on host
 	// tolerance (§2.3.2) and can only sanity-check Puts carry data.
-	if g.table != nil {
-		if err := g.table.checkRequest(addr, m.Type); err != "" {
+	if sh.table != nil {
+		if err := sh.table.checkRequest(addr, m.Type); err != "" {
 			g.ReqsBlocked++
 			g.violation("XG.G1a", err, addr)
 			// Every request gets exactly one response: fail Puts fast so
@@ -476,10 +605,12 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 // host.
 func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Access) {
 	g.mPass.Inc()
+	g.mPassAccel.Inc()
+	sh := g.shard(addr)
 	switch m.Type {
 	case coherence.AGetS, coherence.AGetM:
 		t := &accelTxn{kind: m.Type, start: g.eng.Now()}
-		g.txns[addr] = t
+		sh.txns[addr] = t
 		kind := GetExcl
 		if m.Type == coherence.AGetS {
 			kind = GetShared
@@ -493,15 +624,15 @@ func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Acce
 			}
 		}
 		g.after(func() {
-			if g.txns[addr] == t {
+			if sh.txns[addr] == t {
 				g.shim.get(addr, kind)
 			}
 		})
 	case coherence.APutM, coherence.APutE:
 		t := &accelTxn{kind: m.Type, data: m.Data.Copy(), dirty: m.Type == coherence.APutM, start: g.eng.Now()}
-		g.txns[addr] = t
+		sh.txns[addr] = t
 		g.after(func() {
-			if g.txns[addr] == t {
+			if sh.txns[addr] == t {
 				g.shim.put(addr, t.data.Copy(), t.dirty)
 			}
 		})
@@ -514,8 +645,8 @@ func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Acce
 			g.PutSForwarded++
 			g.after(func() { g.shim.putS(addr) })
 		}
-		if g.table != nil {
-			g.table.drop(addr)
+		if sh.table != nil {
+			sh.table.drop(addr)
 		}
 		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
 	}
@@ -523,11 +654,12 @@ func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Acce
 
 // granted is called by the shim when the host satisfies a get.
 func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool) {
-	t, ok := g.txns[addr]
+	sh := g.shard(addr)
+	t, ok := sh.txns[addr]
 	if !ok {
 		panic(fmt.Sprintf("%s: host grant for %v with no transaction", g.name, addr))
 	}
-	delete(g.txns, addr)
+	delete(sh.txns, addr)
 	if data == nil {
 		data = mem.Zero()
 	}
@@ -539,8 +671,8 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 		// later forwards; for a shared grant another host cache may own
 		// the line, and a sharer volunteering data would hand the
 		// requestor two data responses.
-		if g.table != nil {
-			g.table.grant(addr, level, level, level != GrantS, data, dirty)
+		if sh.table != nil {
+			sh.table.grant(addr, level, level, level != GrantS, data, dirty)
 		}
 		return
 	}
@@ -557,8 +689,8 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 		accelLevel = GrantS
 		keepCopy = true
 	}
-	if g.table != nil {
-		g.table.grant(addr, accelLevel, level, keepCopy, data, dirty)
+	if sh.table != nil {
+		sh.table.grant(addr, accelLevel, level, keepCopy, data, dirty)
 	}
 	var ty coherence.MsgType
 	switch {
@@ -573,23 +705,56 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindGrant,
-			Addr: addr, Msg: ty, To: g.accel, Payload: accelLevel.String(),
+			Addr: addr, Accel: g.accelTag, Msg: ty, To: g.accel, Payload: accelLevel.String(),
 		})
+	}
+	if g.cfg.BatchGrants {
+		g.queueGrant(ty, addr, data.Copy())
+		return
 	}
 	g.after(func() { g.sendToAccel(ty, addr, data.Copy(), false) })
 }
 
+// queueGrant appends one completed grant to the per-tick batch and arms
+// the flush for this tick's batch if it is not armed yet. The flush runs
+// after the guard's processing latency — the same delay an unbatched
+// grant pays — so batching merges departures without adding latency to
+// the first grant of a tick.
+func (g *Guard) queueGrant(ty coherence.MsgType, addr mem.Addr, data *mem.Block) {
+	g.pending = append(g.pending, pendingGrant{ty: ty, addr: addr, data: data})
+	if g.flushPending {
+		return
+	}
+	g.flushPending = true
+	g.after(g.flushGrants)
+}
+
+// flushGrants sends every queued grant back-to-back in queue order (one
+// batch per tick) and recycles the queue's backing array.
+func (g *Guard) flushGrants() {
+	g.flushPending = false
+	batch := g.pending
+	g.GrantBatches++
+	g.GrantsBatched += uint64(len(batch))
+	for i := range batch {
+		g.sendToAccel(batch[i].ty, batch[i].addr, batch[i].data, false)
+		batch[i].data = nil
+	}
+	g.pending = batch[:0]
+}
+
 // putDone is called by the shim when the host acknowledges a writeback.
 func (g *Guard) putDone(addr mem.Addr) {
-	t, ok := g.txns[addr]
+	sh := g.shard(addr)
+	t, ok := sh.txns[addr]
 	if !ok {
 		// The transaction may have been closed by a racing recall.
 		return
 	}
 	g.mCrossing.Observe(float64(g.eng.Now() - t.start))
-	delete(g.txns, addr)
-	if g.table != nil {
-		g.table.drop(addr)
+	delete(sh.txns, addr)
+	if sh.table != nil {
+		sh.table.drop(addr)
 	}
 	if g.Quarantined {
 		// Writeback completed after the fence; the data is safely with the
@@ -603,7 +768,7 @@ func (g *Guard) putDone(addr mem.Addr) {
 // openPut returns the open Put transaction for addr, if any (shims use
 // its buffered data to answer forwards racing with the writeback).
 func (g *Guard) openPut(addr mem.Addr) *accelTxn {
-	if t, ok := g.txns[addr]; ok && t.data != nil {
+	if t, ok := g.shard(addr).txns[addr]; ok && t.data != nil {
 		return t
 	}
 	return nil
@@ -615,7 +780,11 @@ func (g *Guard) sendToAccel(ty coherence.MsgType, addr mem.Addr, data *mem.Block
 
 // Outstanding reports open guard transactions (for deadlock detection).
 func (g *Guard) Outstanding() int {
-	return len(g.txns) + len(g.hosts) + g.shim.outstanding()
+	n := g.shim.outstanding()
+	for i := range g.shards {
+		n += len(g.shards[i].txns) + len(g.shards[i].hosts)
+	}
+	return n
 }
 
 // StorageBytes models the hardware state this guard variant requires
@@ -625,9 +794,13 @@ func (g *Guard) Outstanding() int {
 func (g *Guard) StorageBytes() int {
 	const tagStateBytes = 6 // ~42-bit tag + state bits, rounded up
 	const txnBytes = 8 + mem.BlockBytes
-	n := (len(g.txns) + len(g.hosts)) * txnBytes
-	if g.table != nil {
-		n += g.table.entries()*tagStateBytes + g.table.copies()*mem.BlockBytes
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		n += (len(sh.txns) + len(sh.hosts)) * txnBytes
+		if sh.table != nil {
+			n += sh.table.entries()*tagStateBytes + sh.table.copies()*mem.BlockBytes
+		}
 	}
 	return n
 }
@@ -638,22 +811,49 @@ func (g *Guard) Errors() int { return g.errors }
 // Mode reports the guard variant.
 func (g *Guard) Mode() Mode { return g.cfg.Mode }
 
-// VisitBlocks reports the Full State block table (no-op for
-// Transactional guards, which keep no block state).
+// VisitBlocks reports the Full State block table across every shard
+// (no-op for Transactional guards, which keep no block state).
 func (g *Guard) VisitBlocks(fn func(addr mem.Addr, accel, host Grant, hasCopy bool)) {
-	if g.table == nil {
-		return
-	}
-	for a, e := range g.table.blocks {
-		fn(a, e.accel, e.host, e.copy != nil)
+	for i := range g.shards {
+		t := g.shards[i].table
+		if t == nil {
+			continue
+		}
+		for a, e := range t.blocks {
+			fn(a, e.accel, e.host, e.copy != nil)
+		}
 	}
 }
 
-// TableEntries reports the Full State table occupancy (0 for
-// Transactional).
+// TableEntries reports the Full State table occupancy summed across
+// shards (0 for Transactional).
 func (g *Guard) TableEntries() int {
-	if g.table == nil {
-		return 0
+	n := 0
+	for i := range g.shards {
+		if t := g.shards[i].table; t != nil {
+			n += t.entries()
+		}
 	}
-	return g.table.entries()
+	return n
+}
+
+// tableCopies sums the Full State tables' trusted data copies across
+// every shard (tests and storage accounting).
+func (g *Guard) tableCopies() int {
+	n := 0
+	for i := range g.shards {
+		if t := g.shards[i].table; t != nil {
+			n += t.copies()
+		}
+	}
+	return n
+}
+
+// openRecalls counts open host-initiated recalls across every shard.
+func (g *Guard) openRecalls() int {
+	n := 0
+	for i := range g.shards {
+		n += len(g.shards[i].hosts)
+	}
+	return n
 }

@@ -115,8 +115,8 @@ func TestGuardGrantDegradesForReadOnly(t *testing.T) {
 		t.Fatalf("accel received %v, want DataS (degraded grant)", m)
 	}
 	// And the guard kept the trusted copy.
-	if r.g.table.copies() != 1 {
-		t.Fatalf("copies = %d", r.g.table.copies())
+	if r.g.tableCopies() != 1 {
+		t.Fatalf("copies = %d", r.g.tableCopies())
 	}
 }
 

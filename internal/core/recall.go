@@ -36,8 +36,9 @@ func (v viewState) owned() bool { return v == viewE || v == viewM }
 // block with an open Get transaction has not been granted yet; everything
 // else is Unknown and requires consulting the accelerator.
 func (g *Guard) accelHolds(addr mem.Addr) (viewState, *blockEntry) {
-	if g.table != nil {
-		e := g.table.lookup(addr)
+	sh := g.shard(addr)
+	if sh.table != nil {
+		e := sh.table.lookup(addr)
 		if e == nil {
 			return viewNone, nil
 		}
@@ -64,9 +65,26 @@ func (g *Guard) accelHolds(addr mem.Addr) (viewState, *blockEntry) {
 // validates the response (2a/2b), and resolves the Put/Inv race. done is
 // invoked exactly once with the recovered data (nil when the accelerator
 // held no data) and whether the resolution came from a racing Put.
+//
+// A recall arriving while one for the same block is already in flight —
+// two host-side requestors racing for the line, reachable once several
+// guards (and hence several host requestors' forwards) share one fabric
+// — is coalesced: the accelerator sees exactly one Invalidate, and every
+// waiter completes from the single response.
 func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem.Block, dirty bool, viaPut bool)) {
-	if _, open := g.hosts[addr]; open {
-		panic(fmt.Sprintf("%s: second concurrent recall for %v (host protocol bug)", g.name, addr))
+	sh := g.shard(addr)
+	if ht, open := sh.hosts[addr]; open {
+		g.RecallsCoalesced++
+		g.obsReg.Counter("guard.recall.coalesced").Inc()
+		if b := g.fab.Bus; b.Active() {
+			b.Emit(obs.Event{
+				Tick: g.eng.Now(), Component: g.name, Kind: obs.KindRetry,
+				Addr: addr, Accel: g.accelTag,
+				Payload: "recall coalesced onto in-flight Invalidate",
+			})
+		}
+		ht.waiters = append(ht.waiters, done)
+		return
 	}
 	// Quarantined accelerators are never consulted: the guard answers the
 	// host immediately from trusted state (Full State copy, or zero data)
@@ -76,24 +94,24 @@ func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem
 		ht := newHostTxn(expect, done)
 		ht.closed = true
 		g.answerFromTrusted(addr, ht)
-		if g.table != nil {
-			g.table.drop(addr)
+		if sh.table != nil {
+			sh.table.drop(addr)
 		}
 		return
 	}
 	// A Put already buffered at the guard resolves the recall at once.
 	if t := g.openPut(addr); t != nil {
 		data, dirty := t.data, t.dirty
-		delete(g.txns, addr)
-		if g.table != nil {
-			g.table.drop(addr)
+		delete(sh.txns, addr)
+		if sh.table != nil {
+			sh.table.drop(addr)
 		}
 		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
 		done(data, dirty, true)
 		return
 	}
 	ht := newHostTxn(expect, done)
-	g.hosts[addr] = ht
+	sh.hosts[addr] = ht
 	g.SnoopsForwarded++
 	g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false) })
 	if g.cfg.Timeout > 0 {
@@ -128,7 +146,7 @@ func (g *Guard) armRecallWatchdog(addr mem.Addr, ht *hostTxn, deadline sim.Time,
 	ht.gen++
 	gen := ht.gen
 	g.eng.Schedule(deadline, func() {
-		if ht.closed || ht.gen != gen || g.hosts[addr] != ht {
+		if ht.closed || ht.gen != gen || g.shard(addr).hosts[addr] != ht {
 			return
 		}
 		if attempt < g.cfg.RecallRetries {
@@ -137,7 +155,7 @@ func (g *Guard) armRecallWatchdog(addr mem.Addr, ht *hostTxn, deadline sim.Time,
 			if b := g.fab.Bus; b.Active() {
 				b.Emit(obs.Event{
 					Tick: g.eng.Now(), Component: g.name, Kind: obs.KindRetry,
-					Addr: addr, Msg: coherence.AInv, To: g.accel,
+					Addr: addr, Accel: g.accelTag, Msg: coherence.AInv, To: g.accel,
 					Payload: fmt.Sprintf("recall retry %d/%d", attempt+1, g.cfg.RecallRetries),
 				})
 			}
@@ -157,7 +175,7 @@ func (g *Guard) recallTimeout(addr mem.Addr, ht *hostTxn) {
 	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindTimeout,
-			Addr: addr, Payload: "recall watchdog fired",
+			Addr: addr, Accel: g.accelTag, Payload: "recall watchdog fired",
 		})
 	}
 	g.violation("XG.G2c", "accelerator did not answer Invalidate within the timeout", addr)
@@ -170,8 +188,8 @@ func (g *Guard) recallTimeout(addr mem.Addr, ht *hostTxn) {
 	// Prefer the trusted copy when Full State kept one; otherwise a zero
 	// block keeps the host protocol moving.
 	g.answerFromTrusted(addr, ht)
-	if g.table != nil {
-		g.table.drop(addr)
+	if sh := g.shard(addr); sh.table != nil {
+		sh.table.drop(addr)
 	}
 }
 
@@ -186,8 +204,9 @@ func (g *Guard) resolveRecallByPut(addr mem.Addr, ht *hostTxn, m *coherence.Msg)
 		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
 		return
 	}
+	sh := g.shard(addr)
 	g.closeRecall(addr, ht)
-	g.ignoreInvAck[addr]++
+	sh.ignoreInvAck[addr]++
 	var data *mem.Block
 	dirty := false
 	if m.Data != nil {
@@ -211,23 +230,24 @@ func (g *Guard) resolveRecallByPut(addr mem.Addr, ht *hostTxn, m *coherence.Msg)
 		g.violation("XG.G2a", fmt.Sprintf("racing %v carries data for a block held only in S", m.Type), addr)
 		data, dirty = nil, false
 	}
-	if g.table != nil {
-		g.table.drop(addr)
+	if sh.table != nil {
+		sh.table.drop(addr)
 	}
 	g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
-	ht.done(data, dirty, true)
+	ht.complete(data, dirty, true)
 }
 
 func (g *Guard) closeRecall(addr mem.Addr, ht *hostTxn) {
 	ht.closed = true
 	ht.gen++ // invalidate any armed watchdog generation
-	delete(g.hosts, addr)
+	delete(g.shard(addr).hosts, addr)
 }
 
 // handleAccelResponse validates and translates the accelerator's three
 // response types (InvAck, CleanWB, DirtyWB).
 func (g *Guard) handleAccelResponse(m *coherence.Msg) {
 	addr := m.Addr.Line()
+	sh := g.shard(addr)
 	if g.Quarantined {
 		// A fenced accelerator has no pending host requests by
 		// construction (quarantine resolved them all); swallow late
@@ -235,17 +255,17 @@ func (g *Guard) handleAccelResponse(m *coherence.Msg) {
 		g.obsReg.Counter("guard.quarantine.dropped").Inc()
 		return
 	}
-	if m.Type == coherence.AInvAck && g.ignoreInvAck[addr] > 0 {
+	if m.Type == coherence.AInvAck && sh.ignoreInvAck[addr] > 0 {
 		// The InvAck a correct accelerator sends from B after the
 		// Put/Inv race; already resolved.
-		if g.ignoreInvAck[addr] == 1 {
-			delete(g.ignoreInvAck, addr)
+		if sh.ignoreInvAck[addr] == 1 {
+			delete(sh.ignoreInvAck, addr)
 		} else {
-			g.ignoreInvAck[addr]--
+			sh.ignoreInvAck[addr]--
 		}
 		return
 	}
-	ht, ok := g.hosts[addr]
+	ht, ok := sh.hosts[addr]
 	if !ok {
 		// Guarantee 2b: responses are only valid against a pending host
 		// request; block and report.
@@ -254,13 +274,13 @@ func (g *Guard) handleAccelResponse(m *coherence.Msg) {
 	}
 	data, dirty, errCode := g.validateResponse(addr, ht, m)
 	g.closeRecall(addr, ht)
-	if g.table != nil {
-		g.table.drop(addr)
+	if sh.table != nil {
+		sh.table.drop(addr)
 	}
 	if errCode != "" {
 		g.violation(errCode, fmt.Sprintf("%v inconsistent with accelerator state", m.Type), addr)
 	}
-	ht.done(data, dirty, false)
+	ht.complete(data, dirty, false)
 }
 
 // validateResponse enforces Guarantee 2a. Full State corrects responses
@@ -274,7 +294,7 @@ func (g *Guard) validateResponse(addr mem.Addr, ht *hostTxn, m *coherence.Msg) (
 		m = &coherence.Msg{Type: m.Type, Addr: m.Addr, Data: mem.Zero()}
 		errCode = "XG.G2a"
 	}
-	if g.table == nil {
+	if g.cfg.Mode != FullState {
 		// Transactional: pass through.
 		if carries {
 			return m.Data.Copy(), m.Type == coherence.ADirtyWB, errCode

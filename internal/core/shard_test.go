@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/network"
+	"crossingguard/internal/sim"
+)
+
+// newShardRig is newRecallRig with a shard count.
+func newShardRig(mode Mode, cfg Config) *coreRig {
+	eng := sim.NewEngine()
+	fab := network.NewFabric(eng, 1, network.Config{Latency: 1, Ordered: true})
+	log := coherence.NewErrorLog()
+	accel := &accelSink{id: 200}
+	fab.Register(accel)
+	cfg.Mode = mode
+	g := newGuard(40, "xg", eng, fab, 200, cfg, log)
+	shim := &stubShim{g: g}
+	g.shim = shim
+	return &coreRig{eng, fab, g, shim, accel, log}
+}
+
+// Consecutive blocks land in consecutive shards; every byte of one block
+// — including the last byte before and the first byte after a shard hash
+// boundary — routes to its block's shard.
+func TestShardRoutingStraddlesBoundaries(t *testing.T) {
+	r := newShardRig(FullState, Config{Shards: 4, Timeout: 1000, GuardLat: 1})
+	if r.g.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", r.g.Shards())
+	}
+	for blk := 0; blk < 8; blk++ {
+		base := mem.Addr(blk * mem.BlockBytes)
+		want := r.g.shard(base)
+		// First byte, last byte, and an interior byte of the block must
+		// all route to the same shard; the next block's first byte must
+		// route to the following shard (mod count).
+		for _, off := range []mem.Addr{0, 1, mem.BlockBytes - 1} {
+			if got := r.g.shard(base + off); got != want {
+				t.Fatalf("block %d byte +%d routed to a different shard", blk, off)
+			}
+		}
+		next := r.g.shard(base + mem.BlockBytes)
+		if blk%4 != 3 && next == want {
+			t.Fatalf("blocks %d and %d share a shard, want distinct", blk, blk+1)
+		}
+	}
+	// The boundary pair: last block of one shard cycle, first of the next.
+	a := r.g.shard(3 * mem.BlockBytes)
+	b := r.g.shard(4 * mem.BlockBytes)
+	c := r.g.shard(0)
+	if a == b {
+		t.Fatal("blocks 3 and 4 must straddle the shard wrap")
+	}
+	if b != c {
+		t.Fatal("block 4 must wrap around to shard 0")
+	}
+}
+
+// Full transaction flow with state spread across every shard: grants,
+// table entries, and writebacks all find their per-shard homes.
+func TestShardedGuardFullFlow(t *testing.T) {
+	r := newShardRig(FullState, Config{Shards: 8, Timeout: 1000, GuardLat: 1})
+	const n = 16 // two blocks per shard
+	for i := 0; i < n; i++ {
+		addr := mem.Addr(i * mem.BlockBytes)
+		r.fromAccel(coherence.AGetM, addr, nil)
+		r.g.granted(addr, GrantM, mem.Zero(), false)
+		r.eng.RunUntilQuiet()
+	}
+	if got := r.g.TableEntries(); got != n {
+		t.Fatalf("TableEntries = %d, want %d", got, n)
+	}
+	for i := range r.g.shards {
+		if e := r.g.shards[i].table.entries(); e != 2 {
+			t.Fatalf("shard %d holds %d entries, want 2", i, e)
+		}
+	}
+	for i := 0; i < n; i++ {
+		addr := mem.Addr(i * mem.BlockBytes)
+		r.fromAccel(coherence.APutM, addr, mem.Zero())
+		r.g.putDone(addr)
+		r.eng.RunUntilQuiet()
+	}
+	if got := r.g.TableEntries(); got != 0 {
+		t.Fatalf("TableEntries after writebacks = %d, want 0", got)
+	}
+	if r.g.Errors() != 0 {
+		t.Fatalf("violations = %d, want 0", r.g.Errors())
+	}
+}
+
+// Shard counts that are not powers of two are config errors.
+func TestShardCountMustBePowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shards: 3 did not panic")
+		}
+	}()
+	newShardRig(FullState, Config{Shards: 3})
+}
+
+// A second host recall for a block whose first recall is still in flight
+// coalesces: the accelerator sees exactly one Invalidate and both
+// completion callbacks fire from the single response.
+func TestRecallCoalescing(t *testing.T) {
+	r := newRecallRig(FullState, Config{Timeout: 1000, GuardLat: 1})
+	r.fromAccel(coherence.AGetM, 0x40, nil)
+	r.g.granted(0x40, GrantM, mem.Zero(), false)
+	r.eng.RunUntilQuiet()
+
+	first, second := 0, 0
+	var firstData, secondData *mem.Block
+	r.g.startRecall(0x40, viewM, func(data *mem.Block, dirty bool, viaPut bool) { first++; firstData = data })
+	r.g.startRecall(0x40, viewM, func(data *mem.Block, dirty bool, viaPut bool) { second++; secondData = data })
+	r.eng.RunUntil(10)
+	if got := countToAccel(r, coherence.AInv); got != 1 {
+		t.Fatalf("accelerator saw %d Invalidates, want 1 (coalesced)", got)
+	}
+	if r.g.RecallsCoalesced != 1 {
+		t.Fatalf("RecallsCoalesced = %d, want 1", r.g.RecallsCoalesced)
+	}
+	var blk mem.Block
+	blk[0] = 0x5A
+	r.g.Recv(&coherence.Msg{Type: coherence.ADirtyWB, Addr: 0x40, Src: 200, Dst: 40,
+		Data: &blk, Dirty: true})
+	r.eng.RunUntilQuiet()
+	if first != 1 || second != 1 {
+		t.Fatalf("done calls = %d/%d, want 1/1", first, second)
+	}
+	if firstData == nil || secondData == nil || firstData[0] != 0x5A || secondData[0] != 0x5A {
+		t.Fatalf("coalesced waiters got %v / %v, want the single response's data", firstData, secondData)
+	}
+	if r.g.openRecalls() != 0 {
+		t.Fatalf("%d recalls left open", r.g.openRecalls())
+	}
+	if r.g.Errors() != 0 {
+		t.Fatalf("violations = %d, want 0", r.g.Errors())
+	}
+}
+
+// Coalesced waiters complete when the recall resolves via the Put/Inv
+// race too — the racing writeback answers every waiting host requestor.
+func TestRecallCoalescingResolvedByPut(t *testing.T) {
+	r := newRecallRig(Transactional, Config{Timeout: 1000, GuardLat: 1})
+	first, second := 0, 0
+	r.g.startRecall(0x40, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) {
+		if !viaPut {
+			t.Error("first waiter not resolved via Put")
+		}
+		first++
+	})
+	r.g.startRecall(0x40, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) {
+		if !viaPut {
+			t.Error("second waiter not resolved via Put")
+		}
+		second++
+	})
+	r.fromAccel(coherence.APutM, 0x40, mem.Zero())
+	r.eng.RunUntilQuiet()
+	if first != 1 || second != 1 {
+		t.Fatalf("done calls = %d/%d, want 1/1", first, second)
+	}
+	if r.g.RecallsCoalesced != 1 {
+		t.Fatalf("RecallsCoalesced = %d, want 1", r.g.RecallsCoalesced)
+	}
+}
+
+// With BatchGrants, grants completing at one tick leave the guard as a
+// single per-tick batch; each requestor still gets its own message.
+func TestGrantBatchingFlushesOncePerTick(t *testing.T) {
+	r := newShardRig(FullState, Config{Shards: 2, Timeout: 1000, GuardLat: 1, BatchGrants: true})
+	r.fromAccel(coherence.AGetM, 0x40, nil)
+	r.fromAccel(coherence.AGetS, 0x80, nil)
+	// Both host transactions complete at the same tick.
+	r.g.granted(0x40, GrantM, mem.Zero(), false)
+	r.g.granted(0x80, GrantS, mem.Zero(), false)
+	r.eng.RunUntilQuiet()
+	if got := countToAccel(r, coherence.ADataM); got != 1 {
+		t.Fatalf("DataM count = %d, want 1", got)
+	}
+	if got := countToAccel(r, coherence.ADataS); got != 1 {
+		t.Fatalf("DataS count = %d, want 1", got)
+	}
+	if r.g.GrantBatches != 1 {
+		t.Fatalf("GrantBatches = %d, want 1 (both grants in one flush)", r.g.GrantBatches)
+	}
+	if r.g.GrantsBatched != 2 {
+		t.Fatalf("GrantsBatched = %d, want 2", r.g.GrantsBatched)
+	}
+}
+
+// Grants completing at different ticks flush as separate batches —
+// batching never delays a grant past the guard's normal latency.
+func TestGrantBatchingSeparateTicks(t *testing.T) {
+	r := newShardRig(FullState, Config{Shards: 2, Timeout: 1000, GuardLat: 1, BatchGrants: true})
+	r.fromAccel(coherence.AGetM, 0x40, nil)
+	r.g.granted(0x40, GrantM, mem.Zero(), false)
+	r.eng.RunUntilQuiet()
+	r.fromAccel(coherence.AGetM, 0x80, nil)
+	r.g.granted(0x80, GrantM, mem.Zero(), false)
+	r.eng.RunUntilQuiet()
+	if r.g.GrantBatches != 2 {
+		t.Fatalf("GrantBatches = %d, want 2", r.g.GrantBatches)
+	}
+	if got := countToAccel(r, coherence.ADataM); got != 2 {
+		t.Fatalf("DataM count = %d, want 2", got)
+	}
+}
+
+// Interface messages from a node that is not this guard's accelerator —
+// another device forging its neighbor's requests — are rejected with
+// XG.BadSource and never reach the host shim.
+func TestForgedAccelIDRejected(t *testing.T) {
+	r := newCoreRig(FullState, nil)
+	const forger coherence.NodeID = 1200 // device 1's accelerator node
+	r.g.Recv(&coherence.Msg{Type: coherence.AGetM, Addr: 0x40, Src: forger, Dst: 40})
+	r.eng.RunUntilQuiet()
+	if len(r.shim.gets) != 0 {
+		t.Fatalf("forged GetM reached the host shim (%d gets)", len(r.shim.gets))
+	}
+	if r.g.Errors() != 1 {
+		t.Fatalf("violations = %d, want 1 (XG.BadSource)", r.g.Errors())
+	}
+	errs := r.log.Errors
+	if len(errs) != 1 || errs[0].Code != "XG.BadSource" {
+		t.Fatalf("reported %v, want one XG.BadSource", errs)
+	}
+	// Forged responses are rejected the same way.
+	r.g.Recv(&coherence.Msg{Type: coherence.AInvAck, Addr: 0x40, Src: forger, Dst: 40})
+	r.eng.RunUntilQuiet()
+	if r.g.Errors() != 2 {
+		t.Fatalf("violations = %d after forged InvAck, want 2", r.g.Errors())
+	}
+}

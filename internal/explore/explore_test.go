@@ -63,3 +63,34 @@ func TestRaceSweepsBaselines(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiAccelRaceSweeps is the dedicated two-accelerator
+// ownership-migration sweep: every multi-device scenario, every guard
+// organization, every host, across the offset grid — with the guards'
+// state sharded to prove sharding changes nothing under migration.
+func TestMultiAccelRaceSweeps(t *testing.T) {
+	maxOff := 30
+	if testing.Short() {
+		maxOff = 10
+	}
+	orgs := []config.Org{config.OrgXGFull1L, config.OrgXGTxn1L, config.OrgXGFull2L, config.OrgXGTxn2L}
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range orgs {
+			for _, sc := range MultiAccelScenarios() {
+				host, org, sc := host, org, sc
+				t.Run(fmt.Sprintf("%v/%v/%s", host, org, sc.Name), func(t *testing.T) {
+					spec := config.Spec{Host: host, Org: org, CPUs: 2, AccelCores: 1,
+						Accels: 2, Shards: 4, Seed: 31, Small: true}
+					res := Sweep(spec, sc, sim.Time(maxOff))
+					if len(res.Failures) > 0 {
+						t.Fatalf("%d/%d points failed; first: %s",
+							len(res.Failures), res.Points, res.Failures[0])
+					}
+					if res.Points != maxOff+1 {
+						t.Fatalf("swept %d points, want %d", res.Points, maxOff+1)
+					}
+				})
+			}
+		}
+	}
+}

@@ -68,6 +68,11 @@ type Event struct {
 	From, To coherence.NodeID
 	// Msg is the coherence message type for message events.
 	Msg coherence.MsgType
+	// Accel is the accelerator device index of the guard reporting the
+	// event — the xg.accel.id trace field. 0 (the first or only device)
+	// is omitted from rendered output, so single-accelerator traces are
+	// byte-identical to the pre-multi-accelerator format.
+	Accel int
 	// Payload carries free-form detail (violation code, message rendering).
 	Payload string
 }
@@ -88,6 +93,9 @@ func (e Event) String() string {
 	if e.Component != "" {
 		s += " @" + e.Component
 	}
+	if e.Accel != 0 {
+		s += fmt.Sprintf(" accel=%d", e.Accel)
+	}
 	if e.Payload != "" {
 		s += " " + e.Payload
 	}
@@ -95,9 +103,12 @@ func (e Event) String() string {
 }
 
 // AppendJSON appends the event as a single JSON object with a fixed
-// field order (tick, comp, kind, addr, msg, from, to, payload; zero
-// fields omitted), so traces are byte-identical run over run without
-// going through encoding/json's reflection.
+// field order (tick, comp, kind, addr, msg, from, to, accel, payload;
+// zero fields omitted), so traces are byte-identical run over run
+// without going through encoding/json's reflection. The accel field —
+// xg.accel.id, the reporting guard's device index — is one of the
+// omitted-when-zero fields, so device-0 events render exactly as they
+// did before multi-accelerator support.
 func (e Event) AppendJSON(dst []byte) []byte {
 	dst = append(dst, `{"tick":`...)
 	dst = strconv.AppendUint(dst, uint64(e.Tick), 10)
@@ -124,6 +135,10 @@ func (e Event) AppendJSON(dst []byte) []byte {
 	if e.To != 0 {
 		dst = append(dst, `,"to":`...)
 		dst = strconv.AppendInt(dst, int64(e.To), 10)
+	}
+	if e.Accel != 0 {
+		dst = append(dst, `,"accel":`...)
+		dst = strconv.AppendInt(dst, int64(e.Accel), 10)
 	}
 	if e.Payload != "" {
 		dst = append(dst, `,"payload":`...)

@@ -10,6 +10,14 @@
 // makes a completed store globally visible); repeat. Locations progress
 // concurrently, and several locations share each cache line, so lines
 // ping-pong between cores with reads and writes in flight simultaneously.
+//
+// On a multi-accelerator machine (config.Spec with Accels > 1) the
+// sequencer list spans every device, and the shared address pool makes
+// the tester a cross-device sharing workload for free: the same line is
+// stored by one accelerator and verified from another (and from CPUs),
+// so ownership migrates guard-to-guard through the host on every
+// location cycle. Nothing in the tester is device-aware — the point is
+// that it doesn't have to be.
 package tester
 
 import (

@@ -36,14 +36,31 @@ const (
 	Reduction
 	// Blocked works on cache-sized tiles with heavy reuse.
 	Blocked
+	// CrossShare is the cross-accelerator sharing kernel: every device
+	// streams the same input and updates the same output lines, so
+	// grants migrate between guards as devices take turns owning them.
+	// Meaningful on multi-accelerator machines (Spec.Accels > 1); on a
+	// single device it degenerates to Streaming with a hot output.
+	CrossShare
+	// FalseShare is the inter-accelerator false-sharing kernel: device d
+	// touches only byte d of every line in a small hot region — no datum
+	// is logically shared, yet every store forces a cross-guard
+	// ownership migration of the whole line.
+	FalseShare
 )
 
-var kindNames = [...]string{"streaming", "stencil", "graph", "reduction", "blocked"}
+var kindNames = [...]string{"streaming", "stencil", "graph", "reduction", "blocked",
+	"cross-share", "false-share"}
 
+// String returns the kernel name used in flags and reports.
 func (k Kind) String() string { return kindNames[k] }
 
-// AllKinds lists every kernel.
+// AllKinds lists the single-device benchmark kernels (the sweep the
+// performance evaluation has always run).
 var AllKinds = []Kind{Streaming, Stencil, Graph, Reduction, Blocked}
+
+// MultiKinds lists the kernels designed for multi-accelerator machines.
+var MultiKinds = []Kind{CrossShare, FalseShare}
 
 // Config parameterizes one run.
 type Config struct {
@@ -123,6 +140,7 @@ type Result struct {
 type kernel struct {
 	cfg   Config
 	core  int
+	dev   int // accelerator device index (cross-device kernels)
 	i     int
 	state uint64
 }
@@ -176,6 +194,23 @@ func (k *kernel) next(lastLoaded byte) (addr mem.Addr, store bool, val byte) {
 			return accelBase + f + mem.Addr(k.core*mem.BlockBytes), true, byte(i)
 		}
 		return accelBase + mem.Addr((i*mem.BlockBytes+k.core*509)%k.cfg.Footprint), false, 0
+	case CrossShare:
+		// Every device reads the same input stream and every 4th access
+		// writes the same small output window, so output lines bounce
+		// between guards (host-mediated recall on every migration).
+		if i%4 == 3 {
+			out := mem.Addr((i * 4) % (k.cfg.Footprint / 8))
+			return accelBase + f + out, true, byte(i)
+		}
+		return accelBase + mem.Addr(i*4%k.cfg.Footprint), false, 0
+	case FalseShare:
+		// Disjoint bytes of the same hot lines: device d touches only
+		// byte d, but ownership is per line, so stores from different
+		// devices fight over every line without sharing any datum.
+		const hotLines = 8
+		line := mem.Addr((i % hotLines) * mem.BlockBytes)
+		addr := accelBase + line + mem.Addr(k.dev%mem.BlockBytes)
+		return addr, i%2 == 1, byte(i)
 	default: // Blocked
 		// 4 KiB tiles with heavy reuse before moving on (lud-like); each
 		// core owns a quarter of the footprint (per-core tile sets).
@@ -212,7 +247,7 @@ func Run(sys *config.System, cfg Config) (Result, error) {
 	var finish sim.Time
 	for ci, sq := range sys.AccelSeqs {
 		sq := sq
-		k := &kernel{cfg: cfg, core: ci, state: uint64(ci)*977 + 1}
+		k := &kernel{cfg: cfg, core: ci, dev: sys.AccelSeqDevice(ci), state: uint64(ci)*977 + 1}
 		var step func(last byte)
 		step = func(last byte) {
 			if k.i >= cfg.AccessesPerCore {

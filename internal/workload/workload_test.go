@@ -156,3 +156,47 @@ func TestPutSFractionSmall(t *testing.T) {
 	}
 	t.Logf("PutS fraction of accel->guard traffic: %.2f%%", 100*res.PutSFrac)
 }
+
+// TestMultiAccelKernels runs the cross-accelerator kernels on two-device
+// machines: every device completes, no protocol errors, and the audit
+// holds after lines migrated between guards all run.
+func TestMultiAccelKernels(t *testing.T) {
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range []config.Org{config.OrgXGFull1L, config.OrgXGTxn2L} {
+			for _, kind := range MultiKinds {
+				host, org, kind := host, org, kind
+				t.Run(fmt.Sprintf("%v/%v/%v", host, org, kind), func(t *testing.T) {
+					sys := config.Build(config.Spec{Host: host, Org: org, CPUs: 2,
+						AccelCores: 1, Accels: 2, Shards: 4, Seed: 5})
+					res, err := Run(sys, smallWL(kind))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Errors != 0 {
+						t.Fatalf("protocol errors during workload: %v", sys.Log.Errors[0])
+					}
+					if err := sys.Audit(); err != nil {
+						t.Fatalf("audit after workload: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFalseShareMigratesOwnership: the false-sharing kernel must force
+// real cross-device ownership migrations — both guards recall lines —
+// while the devices touch disjoint bytes.
+func TestFalseShareMigratesOwnership(t *testing.T) {
+	sys := config.Build(config.Spec{Host: config.HostHammer, Org: config.OrgXGFull1L,
+		CPUs: 2, AccelCores: 1, Accels: 2, Seed: 7})
+	cfg := smallWL(FalseShare)
+	if _, err := Run(sys, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for d, g := range sys.Guards {
+		if g.SnoopsForwarded == 0 {
+			t.Errorf("guard %d never recalled a line: the hot lines never migrated", d)
+		}
+	}
+}
