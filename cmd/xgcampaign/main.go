@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	xgcampaign [-mode stress|fuzz|chaos|multi|all] [-seeds N] [-workers N]
+//	xgcampaign [-mode stress|fuzz|chaos|recovery|multi|all] [-seeds N] [-workers N]
 //	           [-budget 30s] [-stores N] [-messages N] [-cpus N] [-cores N]
 //	           [-accels N] [-shards N]
 //	           [-checked] [-consistency] [-coverage=false]
@@ -36,6 +36,13 @@
 // the exact fault schedule. -mode all covers stress+fuzz (chaos is its
 // own mode: quarantines are expected there and exit distinctly).
 //
+// -mode recovery sweeps flapping adversaries against guards armed for
+// quarantine AND readmission (recover=5000 in every cell): the device
+// trips quarantine, the guard drains and resets it, and the recovered
+// device must run clean under the new epoch. A run where every
+// readmitted device stays healthy exits 0; shards whose guard was still
+// fencing at end of run count as quarantines (exit 3).
+//
 // -accels builds every machine with N accelerator devices, each behind
 // its own guard (fuzz/chaos shards attach one attacker/adversary per
 // device); -shards address-shards every guard's block table and recall
@@ -60,7 +67,7 @@ import (
 )
 
 var (
-	mode     = flag.String("mode", "all", "shard kinds to run: stress, fuzz, chaos, or all (= stress+fuzz)")
+	mode     = flag.String("mode", "all", "shard kinds to run: stress, fuzz, chaos, recovery, multi, or all (= stress+fuzz)")
 	seeds    = flag.Int("seeds", 5, "random seeds per configuration (fixed-set mode)")
 	workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	budget   = flag.Duration("budget", 0, "wall-clock budget; nonzero switches to budgeted mode with unlimited seeds")
@@ -98,13 +105,15 @@ func main() {
 		base = campaign.FuzzSweep(1, *cpus, *messages)
 	case "chaos":
 		base = campaign.ChaosSweep(1, *cpus, *messages)
+	case "recovery":
+		base = campaign.RecoverySweep(1, *cpus, *messages)
 	case "multi":
 		base = campaign.MultiAccelSweep(1, *cpus, *stores, *messages)
 	case "all":
 		base = append(campaign.StressSweep(1, *cpus, *cores, *stores),
 			campaign.FuzzSweep(1, *cpus, *messages)...)
 	default:
-		fmt.Fprintf(os.Stderr, "xgcampaign: unknown -mode %q (want stress, fuzz, chaos, multi, or all)\n", *mode)
+		fmt.Fprintf(os.Stderr, "xgcampaign: unknown -mode %q (want stress, fuzz, chaos, recovery, multi, or all)\n", *mode)
 		os.Exit(campaign.ExitUsage)
 	}
 	if *shards != 0 && *shards&(*shards-1) != 0 {
@@ -218,6 +227,10 @@ func printReport(rep *campaign.Report) {
 		fmt.Printf("chaos: %d faults injected, %d shards ended with the accelerator quarantined (degraded but safe; exit %d)\n",
 			injected, rep.Quarantines, campaign.ExitQuarantine)
 	}
+	if rep.Recoveries > 0 {
+		fmt.Printf("recovery: %d device reintegrations (quarantined accelerators drained, reset, and readmitted under a new epoch)\n",
+			rep.Recoveries)
+	}
 
 	if *coverage && len(rep.Cov) > 0 {
 		fmt.Println("\nstate/event coverage (visited pairs / declared-possible pairs), merged across shards:")
@@ -273,9 +286,9 @@ func runRepro(spec string) int {
 	fmt.Printf("re-running shard: %s\n", campaign.FormatSpec(s))
 	start := time.Now()
 	res := campaign.RunShard(s, true)
-	fmt.Printf("stores=%d loads=%d checked=%d sent=%d faults=%d violations=%d simtime=%d wall=%v\n",
+	fmt.Printf("stores=%d loads=%d checked=%d sent=%d faults=%d violations=%d recoveries=%d simtime=%d wall=%v\n",
 		res.Res.Stores, res.Res.Loads, res.Res.LoadChecks, res.Sent, res.Injected, res.Violations,
-		res.Res.EndTime, time.Since(start).Round(time.Millisecond))
+		res.Recoveries, res.Res.EndTime, time.Since(start).Round(time.Millisecond))
 	if res.Err == nil {
 		if res.Quarantined {
 			fmt.Println("PASS: shard completed with the accelerator quarantined (degraded but safe)")

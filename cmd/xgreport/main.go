@@ -1,13 +1,20 @@
 // Command xgreport renders a metrics JSON file (the -metrics output of
 // xgsim, xgstress, xgcampaign, or xgfuzz) into paper-style text tables:
-// guard guarantee-check outcomes per Figure 1 guarantee, crossing
-// latency distributions, per-protocol host state-transition counts, and
-// network occupancy.
+// guard guarantee-check outcomes per Figure 1 guarantee, per-device
+// recovery outcomes, crossing latency distributions, per-protocol host
+// state-transition counts, and network occupancy.
+//
+// With -diff, it compares two runs instead: per-guarantee and
+// per-accelerator deltas between a baseline metrics file and the
+// current one, flagging every violation count that grew as a
+// REGRESSION — the campaign-over-campaign triage view.
 //
 // Usage:
 //
 //	xgreport metrics.json
 //	xgreport < metrics.json
+//	xgreport -diff old.json new.json
+//	xgreport -diff old.json < new.json
 package main
 
 import (
@@ -23,10 +30,11 @@ import (
 )
 
 func main() {
+	diffPath := flag.String("diff", "", "baseline metrics JSON; render per-guarantee and per-accelerator deltas against it instead of the full report")
 	flag.Parse()
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: xgreport [metrics.json]")
+		fmt.Fprintln(os.Stderr, "usage: xgreport [-diff old.json] [metrics.json]")
 		os.Exit(2)
 	}
 	if flag.NArg() == 1 {
@@ -42,6 +50,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xgreport:", err)
 		os.Exit(1)
+	}
+	if *diffPath != "" {
+		f, err := os.Open(*diffPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xgreport:", err)
+			os.Exit(1)
+		}
+		old, err := obs.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xgreport:", err)
+			os.Exit(1)
+		}
+		if regressed := renderDiff(os.Stdout, old, snap); regressed {
+			os.Exit(1)
+		}
+		return
 	}
 	render(os.Stdout, snap)
 }
@@ -65,6 +90,7 @@ func render(w io.Writer, s obs.Snapshot) {
 	renderGuarantees(w, s)
 	renderPerAccel(w, s)
 	renderRobustness(w, s)
+	renderRecovery(w, s)
 	renderCrossings(w, s)
 	renderStates(w, s)
 	renderNetwork(w, s)
@@ -101,6 +127,94 @@ func renderRobustness(w io.Writer, s obs.Snapshot) {
 		}
 	}
 	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// recoveryRows are the quarantine-recovery lifecycle counters, in the
+// order the state machine visits them (docs/PROTOCOL.md "Reset &
+// reintegration semantics").
+var recoveryRows = []struct{ key, label string }{
+	{"guard.recovery.backoff", "recovery attempts scheduled (after backoff)"},
+	{"guard.recovery.drained_lines", "  lines drained before reset"},
+	{"guard.recovery.reintegrated", "devices reintegrated (fresh epoch)"},
+	{"guard.recovery.permanent", "devices permanently quarantined"},
+}
+
+// renderRecovery prints the quarantine-recovery lifecycle: how many
+// backed-off recovery attempts ran, how many lines each drain flushed,
+// how many devices were readmitted under a fresh epoch, and how many
+// exhausted their budget into permanent quarantine — in aggregate and
+// per device. Absent unless recovery actually fired.
+func renderRecovery(w io.Writer, s obs.Snapshot) {
+	any := false
+	for _, r := range recoveryRows {
+		if s.Counters[r.key] > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w, "quarantine recovery (fence -> drain -> reset -> reintegrate)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, r := range recoveryRows {
+		if n, ok := s.Counters[r.key]; ok {
+			fmt.Fprintf(tw, "  %s\t%d\n", r.label, n)
+		}
+	}
+	tw.Flush()
+
+	// Per-device rows from the @a<N> variants, plus each device's stale
+	// stragglers — the messages the epoch fence rejected after its reset.
+	type devRow struct {
+		backoff, drained, reintegrated, permanent, stale uint64
+	}
+	devs := map[string]*devRow{}
+	get := func(tag string) *devRow {
+		r, ok := devs[tag]
+		if !ok {
+			r = &devRow{}
+			devs[tag] = r
+		}
+		return r
+	}
+	for name, n := range s.Counters {
+		base, tag, ok := accelTagOf(name)
+		if !ok {
+			continue
+		}
+		switch base {
+		case "guard.recovery.backoff":
+			get(tag).backoff += n
+		case "guard.recovery.drained_lines":
+			get(tag).drained += n
+		case "guard.recovery.reintegrated":
+			get(tag).reintegrated += n
+		case "guard.recovery.permanent":
+			get(tag).permanent += n
+		case "guard.violation.XG.StaleEpoch":
+			get(tag).stale += n
+		}
+	}
+	if len(devs) > 0 {
+		tags := make([]string, 0, len(devs))
+		for tag := range devs {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  accel\tattempts\tdrained\treintegrated\tstale dropped\tfinal")
+		for _, tag := range tags {
+			r := devs[tag]
+			final := "healthy"
+			if r.permanent > 0 {
+				final = "permanent quarantine"
+			}
+			fmt.Fprintf(tw, "  a%s\t%d\t%d\t%d\t%d\t%s\n",
+				tag, r.backoff, r.drained, r.reintegrated, r.stale, final)
+		}
+		tw.Flush()
+	}
 	fmt.Fprintln(w)
 }
 
@@ -283,6 +397,131 @@ func renderStates(w io.Writer, s obs.Snapshot) {
 	if any {
 		fmt.Fprintln(w)
 	}
+}
+
+// delta renders a signed difference the way a triage eye scans for it:
+// "-" for no change, "+n"/"-n" otherwise.
+func delta(old, new uint64) string {
+	switch {
+	case new == old:
+		return "-"
+	case new > old:
+		return fmt.Sprintf("+%d", new-old)
+	default:
+		return fmt.Sprintf("-%d", old-new)
+	}
+}
+
+// renderDiff compares two runs: per-guarantee and per-accelerator
+// deltas between the baseline and current snapshots. Every violation
+// count that grew is flagged REGRESSION; the return value reports
+// whether any were found, so -diff doubles as a CI gate.
+func renderDiff(w io.Writer, old, new obs.Snapshot) (regressed bool) {
+	fmt.Fprintln(w, "guarantee-check deltas (baseline -> current)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  check\tbaseline\tcurrent\tdelta\t")
+	fmt.Fprintf(tw, "  pass\t%d\t%d\t%s\t\n",
+		old.Counters["guard.check.pass"], new.Counters["guard.check.pass"],
+		delta(old.Counters["guard.check.pass"], new.Counters["guard.check.pass"]))
+	// Union of untagged violation codes across both runs, known Figure 1
+	// codes first in table order, then any extras alphabetically.
+	union := map[string]bool{}
+	for _, s := range []obs.Snapshot{old, new} {
+		for name := range s.Counters {
+			if strings.HasPrefix(name, "guard.violation.") && !strings.Contains(name, "@a") {
+				union[strings.TrimPrefix(name, "guard.violation.")] = true
+			}
+		}
+	}
+	ordered := make([]string, 0, len(union))
+	for _, g := range guaranteeNames {
+		if union[g.code] {
+			ordered = append(ordered, g.code)
+			delete(union, g.code)
+		}
+	}
+	var extra []string
+	for code := range union {
+		extra = append(extra, code)
+	}
+	sort.Strings(extra)
+	ordered = append(ordered, extra...)
+	for _, code := range ordered {
+		key := "guard.violation." + code
+		o, n := old.Counters[key], new.Counters[key]
+		mark := ""
+		if n > o {
+			mark = "REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%s\t%s\n", code, o, n, delta(o, n), mark)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	// Per-accelerator deltas from the @a<N> counters: which device a
+	// regression belongs to is the first triage question in a
+	// multi-device campaign.
+	type accDelta struct{ oldPass, newPass, oldViol, newViol uint64 }
+	devs := map[string]*accDelta{}
+	get := func(tag string) *accDelta {
+		r, ok := devs[tag]
+		if !ok {
+			r = &accDelta{}
+			devs[tag] = r
+		}
+		return r
+	}
+	fold := func(s obs.Snapshot, pass func(*accDelta, uint64), viol func(*accDelta, uint64)) {
+		for name, n := range s.Counters {
+			base, tag, ok := accelTagOf(name)
+			if !ok {
+				continue
+			}
+			switch {
+			case base == "guard.check.pass":
+				pass(get(tag), n)
+			case strings.HasPrefix(base, "guard.violation."):
+				viol(get(tag), n)
+			}
+		}
+	}
+	fold(old,
+		func(r *accDelta, n uint64) { r.oldPass += n },
+		func(r *accDelta, n uint64) { r.oldViol += n })
+	fold(new,
+		func(r *accDelta, n uint64) { r.newPass += n },
+		func(r *accDelta, n uint64) { r.newViol += n })
+	if len(devs) > 0 {
+		tags := make([]string, 0, len(devs))
+		for tag := range devs {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		fmt.Fprintln(w, "per-accelerator deltas")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  accel\tpass\tΔpass\tviolations\tΔviolations\t")
+		for _, tag := range tags {
+			r := devs[tag]
+			mark := ""
+			if r.newViol > r.oldViol {
+				mark = "REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(tw, "  a%s\t%d\t%s\t%d\t%s\t%s\n",
+				tag, r.newPass, delta(r.oldPass, r.newPass),
+				r.newViol, delta(r.oldViol, r.newViol), mark)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+
+	if regressed {
+		fmt.Fprintln(w, "verdict: REGRESSION (violations grew vs baseline)")
+	} else {
+		fmt.Fprintln(w, "verdict: clean (no violation count grew vs baseline)")
+	}
+	return regressed
 }
 
 func renderNetwork(w io.Writer, s obs.Snapshot) {

@@ -38,11 +38,24 @@ const (
 	// the 2c deadline has passed (a too-slow device; its late responses
 	// race the watchdog and retries).
 	AdvSlowpoke
+	// AdvFlapper behaves correctly, then bursts guarantee violations
+	// (stray responses nothing asked for) until the guard fences it,
+	// then behaves correctly again — repeated Flaps times. It is the
+	// recovery protocol's canonical customer: a device that deserves
+	// readmission a bounded number of times, and permanent quarantine
+	// after that.
+	AdvFlapper
+	// AdvIdle answers Invalidate with a correct ack and initiates
+	// nothing at all: a slot with no device in it. Containment proofs
+	// substitute it for a misbehaving device to obtain the "device never
+	// existed" baseline.
+	AdvIdle
 
 	numAdvModels
 )
 
-var advModelNames = [numAdvModels]string{"silent", "babbler", "stalewriter", "confused", "slowpoke"}
+var advModelNames = [numAdvModels]string{"silent", "babbler", "stalewriter", "confused", "slowpoke",
+	"flapper", "idle"}
 
 // String returns the spec token for the model (e.g. "babbler").
 func (m AdvModel) String() string {
@@ -63,7 +76,11 @@ func ParseAdvModel(s string) (AdvModel, error) {
 		s, strings.Join(advModelNames[:], "|"))
 }
 
-// AllAdvModels lists every adversary model, in sweep order.
+// AllAdvModels lists every adversary model the chaos sweep cycles, in
+// sweep order. AdvFlapper and AdvIdle are deliberately excluded: the
+// flapper only makes sense with recovery enabled (the recovery sweep
+// covers it) and the idle model is a containment-baseline prop, so the
+// historical chaos matrix is unchanged.
 var AllAdvModels = []AdvModel{AdvSilent, AdvBabbler, AdvStaleWriter, AdvConfused, AdvSlowpoke}
 
 // AdvConfig parameterizes an Adversary.
@@ -87,6 +104,16 @@ type AdvConfig struct {
 	// Deadline is the guard's 2c timeout, which AdvSlowpoke deliberately
 	// overshoots (answering at Deadline + Deadline/2).
 	Deadline sim.Time
+	// Flaps is the number of violation bursts AdvFlapper fires before
+	// settling down for good (default 1). Other models ignore it.
+	Flaps int
+	// BurstLen is the number of stray responses per AdvFlapper burst
+	// (default 32 — comfortably past typical QuarantineAfter settings).
+	BurstLen int
+	// FlapGap is the number of well-behaved steps AdvFlapper takes
+	// between bursts (default 40), giving the guard time to drain,
+	// reset, and readmit the device before it misbehaves again.
+	FlapGap int
 }
 
 // Adversary is a Byzantine accelerator endpoint implementing one
@@ -110,9 +137,22 @@ type Adversary struct {
 	dark     bool                           // AdvSilent has stopped answering
 	acquired int                            // lines acquired so far (AdvSilent goes dark after a few)
 
+	// epoch is the guard epoch this device currently operates under (0
+	// until the first reset). Stamped on every send; guard messages from
+	// another epoch are stale stragglers and are dropped.
+	epoch uint32
+
+	// AdvFlapper phase state: bursts fired so far, stray sends left in
+	// the current burst, and well-behaved steps since the last burst.
+	flapsDone    int
+	burstLeft    int
+	correctSteps int
+
 	// Sent counts self-initiated messages; Grants / WBAcks / Invs /
-	// Nacks count guard traffic observed.
-	Sent, Grants, WBAcks, Invs, Nacks uint64
+	// Nacks count guard traffic observed; StaleDrops counts guard
+	// messages dropped for carrying an outdated epoch; Resets counts
+	// device reinitializations.
+	Sent, Grants, WBAcks, Invs, Nacks, StaleDrops, Resets uint64
 }
 
 // NewAdversary builds and registers an adversary as the accelerator node
@@ -154,8 +194,30 @@ func (a *Adversary) Name() string { return "adv." + a.cfg.Model.String() }
 // checks are what chaos runs assert on).
 func (a *Adversary) Outstanding() int { return 0 }
 
+// Reset reinitializes the device under a new guard epoch (the recovery
+// protocol's device-reset step): every line and open transaction is
+// forgotten and the model's phase state is cleared — except the flapper's
+// flap count, which is the device's lifetime pathology, not cache state.
+func (a *Adversary) Reset(epoch uint32) {
+	a.epoch = epoch
+	a.Resets++
+	a.open = make(map[mem.Addr]coherence.MsgType)
+	a.held = make(map[mem.Addr]*mem.Block)
+	a.stale = make(map[mem.Addr]*mem.Block)
+	a.dark = false
+	a.acquired = 0
+	a.burstLeft = 0
+	a.correctSteps = 0
+}
+
 // Recv implements coherence.Controller.
 func (a *Adversary) Recv(m *coherence.Msg) {
+	if m.Epoch != a.epoch {
+		// A guard message from before our reset (or after a reset we have
+		// not been told about yet): stale, drop it.
+		a.StaleDrops++
+		return
+	}
 	addr := m.Addr.Line()
 	switch m.Type {
 	case coherence.ADataS, coherence.ADataE, coherence.ADataM:
@@ -203,9 +265,46 @@ func (a *Adversary) step(left int) {
 		a.stepConfused()
 	case AdvSlowpoke:
 		a.stepCorrect()
+	case AdvFlapper:
+		a.stepFlapper()
+	case AdvIdle:
+		// Nothing: an idle slot initiates no traffic at all.
 	}
 	gap := sim.Time(a.rng.Int63n(int64(a.cfg.Gap))) + 1
 	a.eng.Schedule(gap, func() { a.step(left - 1) })
+}
+
+// stepFlapper alternates phases: behave correctly, then burst stray
+// responses (each one a G2b violation at the guard) until the quarantine
+// policy fences us, then behave again once readmitted — Flaps times in
+// total, after which the device is permanently well-behaved. Whether it
+// is permanently *readmitted* is the guard's call (MaxRecoveries).
+func (a *Adversary) stepFlapper() {
+	if a.burstLeft > 0 {
+		a.burstLeft--
+		a.send(coherence.AInvAck, a.pick(), nil, false)
+		return
+	}
+	flaps := a.cfg.Flaps
+	if flaps <= 0 {
+		flaps = 1
+	}
+	gapSteps := a.cfg.FlapGap
+	if gapSteps <= 0 {
+		gapSteps = 40
+	}
+	if a.flapsDone < flaps && a.correctSteps >= gapSteps {
+		burst := a.cfg.BurstLen
+		if burst <= 0 {
+			burst = 32
+		}
+		a.flapsDone++
+		a.correctSteps = 0
+		a.burstLeft = burst
+		return
+	}
+	a.correctSteps++
+	a.stepCorrect()
 }
 
 // stepAcquire issues correct Get requests (one open transaction per line,
@@ -339,21 +438,42 @@ func (a *Adversary) answerInv(addr mem.Addr) {
 		} else {
 			a.respond(coherence.AInvAck, addr, nil, false, late)
 		}
+	case AdvFlapper:
+		// Correct recall handling in every phase: the flapper's sin is
+		// its bursts, not its responses.
+		if blk, have := a.held[addr]; have {
+			delete(a.held, addr)
+			a.respond(coherence.ADirtyWB, addr, blk, true, 0)
+		} else {
+			a.respond(coherence.AInvAck, addr, nil, false, 0)
+		}
+	case AdvIdle:
+		a.respond(coherence.AInvAck, addr, nil, false, 0)
 	}
 }
 
 // respond sends a recall response after delay (0 = next tick). Responses
-// are not budgeted: they are bounded by the host's recall traffic.
+// are not budgeted: they are bounded by the host's recall traffic. The
+// epoch is captured now, not at fire time: a reply to a pre-reset
+// Invalidate that lands after reintegration must carry the old epoch so
+// the guard drops it as a stale straggler instead of charging the fresh
+// device with G2b.
 func (a *Adversary) respond(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool, delay sim.Time) {
 	if delay <= 0 {
 		delay = 1
 	}
-	a.eng.Schedule(delay, func() { a.send(ty, addr, data, dirty) })
+	epoch := a.epoch
+	a.eng.Schedule(delay, func() { a.sendEpoch(ty, addr, data, dirty, epoch) })
 }
 
 func (a *Adversary) send(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool) {
+	a.sendEpoch(ty, addr, data, dirty, a.epoch)
+}
+
+func (a *Adversary) sendEpoch(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool, epoch uint32) {
 	a.Sent++
-	a.fab.Send(&coherence.Msg{Type: ty, Addr: addr, Src: a.id, Dst: a.xg, Data: data, Dirty: dirty})
+	a.fab.Send(&coherence.Msg{Type: ty, Addr: addr, Src: a.id, Dst: a.xg, Data: data, Dirty: dirty,
+		Epoch: epoch})
 }
 
 func (a *Adversary) pick() mem.Addr {

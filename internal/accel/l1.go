@@ -36,6 +36,15 @@ type L1Cache struct {
 	waitingOps map[mem.Addr][]*coherence.Msg
 	stalledOps []*coherence.Msg
 
+	// epoch is the guard epoch this cache operates under (0 until the
+	// first device reset). Guard messages from another epoch are
+	// pre-reset stragglers and are dropped, never dispatched — a stale
+	// grant must not be mistaken for an answer to a fresh request.
+	epoch uint32
+	// StaleDrops counts guard messages dropped for a stale epoch; Nacked
+	// counts transactions refused by a quarantined guard.
+	StaleDrops, Nacked uint64
+
 	// Cov records (state, event) coverage; its declaration set IS
 	// paper Table 1, so unexpected transitions fail conformance.
 	Cov *coherence.Coverage
@@ -93,13 +102,61 @@ func (c *L1Cache) Recv(m *coherence.Msg) {
 	case coherence.ReqLoad, coherence.ReqStore:
 		c.handleCPU(m)
 	case coherence.ADataS, coherence.ADataE, coherence.ADataM:
+		if m.Epoch != c.epoch {
+			c.StaleDrops++
+			return
+		}
 		c.handleData(m)
 	case coherence.AWBAck:
+		if m.Epoch != c.epoch {
+			c.StaleDrops++
+			return
+		}
 		c.handleWBAck(m)
 	case coherence.AInv:
+		if m.Epoch != c.epoch {
+			c.StaleDrops++
+			return
+		}
 		c.handleInv(m)
+	case coherence.ANack:
+		if m.Epoch != c.epoch {
+			c.StaleDrops++
+			return
+		}
+		c.handleNack(m)
 	default:
 		panic(fmt.Sprintf("%s: unexpected %v", c.name, m))
+	}
+}
+
+// Reset reinitializes the cache under a new guard epoch (the recovery
+// protocol's device-reset step): every line returns to Invalid and every
+// in-flight transaction is forgotten. Waiting core operations are
+// dropped without responses — the sequencer aborts them in the same
+// reset. Coverage is cumulative and survives the reset.
+func (c *L1Cache) Reset(epoch uint32) {
+	c.epoch = epoch
+	c.cache = cacheset.New[aLine](c.cfg.L1Sets, c.cfg.L1Ways)
+	c.wb = make(map[mem.Addr]*aLine)
+	c.waitingOps = make(map[mem.Addr][]*coherence.Msg)
+	c.stalledOps = nil
+}
+
+// handleNack closes a transaction a quarantined guard refused. No
+// response reaches the waiting core operation: the device is about to be
+// reset, and the sequencer abort drops the operation with it.
+func (c *L1Cache) handleNack(m *coherence.Msg) {
+	line := m.Addr.Line()
+	c.Nacked++
+	if _, ok := c.wb[line]; ok {
+		delete(c.wb, line)
+		c.settled(line)
+		return
+	}
+	if e := c.cache.Peek(m.Addr); e != nil && e.V.state == AB {
+		c.cache.Invalidate(m.Addr)
+		c.settled(line)
 	}
 }
 
@@ -136,7 +193,7 @@ func (c *L1Cache) handleCPU(m *coherence.Msg) {
 		}
 		e.V.state = AB
 		e.V.op = m
-		c.send(&coherence.Msg{Type: ty, Addr: line, Src: c.id, Dst: c.xg})
+		c.send(&coherence.Msg{Type: ty, Addr: line, Src: c.id, Dst: c.xg, Epoch: c.epoch})
 		return
 	}
 	st := e.V.state
@@ -156,7 +213,7 @@ func (c *L1Cache) handleCPU(m *coherence.Msg) {
 		// S + Store -> issue GetM / B.
 		e.V.state = AB
 		e.V.op = m
-		c.send(&coherence.Msg{Type: coherence.AGetM, Addr: line, Src: c.id, Dst: c.xg})
+		c.send(&coherence.Msg{Type: coherence.AGetM, Addr: line, Src: c.id, Dst: c.xg, Epoch: c.epoch})
 	}
 }
 
@@ -196,7 +253,7 @@ func (c *L1Cache) evict(addr mem.Addr, v *aLine) {
 	}
 	c.wb[addr] = &aLine{state: AB, data: v.data}
 	c.send(&coherence.Msg{Type: ty, Addr: addr, Src: c.id, Dst: c.xg, Data: data,
-		Dirty: ty == coherence.APutM})
+		Dirty: ty == coherence.APutM, Epoch: c.epoch})
 }
 
 func (c *L1Cache) respond(op *coherence.Msg, val byte) {
@@ -297,7 +354,8 @@ func (c *L1Cache) handleInv(m *coherence.Msg) {
 }
 
 func (c *L1Cache) sendToXG(ty coherence.MsgType, line mem.Addr, data *mem.Block, dirty bool) {
-	c.send(&coherence.Msg{Type: ty, Addr: line, Src: c.id, Dst: c.xg, Data: data, Dirty: dirty})
+	c.send(&coherence.Msg{Type: ty, Addr: line, Src: c.id, Dst: c.xg, Data: data, Dirty: dirty,
+		Epoch: c.epoch})
 }
 
 func (c *L1Cache) settled(line mem.Addr) {

@@ -67,6 +67,15 @@ type SharedL2 struct {
 	// LocalSharing counts data requests satisfied without crossing to
 	// the host (the benefit of Figure 2d).
 	LocalSharing uint64
+
+	// epoch is the guard epoch the hierarchy operates under (0 until the
+	// first device reset); the whole two-level hierarchy resets as one,
+	// so internal X* traffic carries it too and pre-reset stragglers on
+	// either level are dropped.
+	epoch uint32
+	// StaleDrops counts messages dropped for a stale epoch; Nacked
+	// counts transactions refused by a quarantined guard.
+	StaleDrops, Nacked uint64
 }
 
 // NewSharedL2 builds and registers the shared accelerator L2.
@@ -115,6 +124,12 @@ func (l *SharedL2) stateName(e *cacheset.Entry[sl2Line]) string {
 
 // Recv implements coherence.Controller.
 func (l *SharedL2) Recv(m *coherence.Msg) {
+	if m.Epoch != l.epoch {
+		// A pre-reset straggler (guard or inner-level): drop before it can
+		// touch the fresh hierarchy.
+		l.StaleDrops++
+		return
+	}
 	e := l.cache.Peek(m.Addr)
 	l.Cov.Record(l.stateName(e), evName(m.Type))
 	switch m.Type {
@@ -134,12 +149,52 @@ func (l *SharedL2) Recv(m *coherence.Msg) {
 		l.handleAWBAck(m)
 	case coherence.AInv:
 		l.handleAInv(m)
+	case coherence.ANack:
+		l.handleANack(m)
 	default:
 		panic(fmt.Sprintf("%s: unexpected %v", l.name, m))
 	}
 }
 
-func (l *SharedL2) send(m *coherence.Msg) { l.fab.Send(m) }
+// Reset reinitializes the shared L2 under a new guard epoch (the
+// recovery protocol's device-reset step). The inner L1s reset in the
+// same hook, so the whole hierarchy re-enters empty and any in-flight
+// internal message drops as stale on arrival.
+func (l *SharedL2) Reset(epoch uint32) {
+	l.epoch = epoch
+	l.cache = cacheset.New[sl2Line](l.cfg.L2Sets, l.cfg.L2Ways)
+	l.evictions = make(map[mem.Addr]*sl2Line)
+	l.waiting = make(map[mem.Addr][]*coherence.Msg)
+	l.stalled = nil
+	l.replaying = nil
+	l.hostInv = make(map[mem.Addr]*coherence.Msg)
+	l.ignoreAck = make(map[mem.Addr]map[coherence.NodeID]int)
+}
+
+// handleANack closes a transaction a quarantined guard refused: a nacked
+// eviction abandons the writeback, a nacked fetch abandons the line. The
+// inner requestor gets no grant — the device is about to be reset.
+func (l *SharedL2) handleANack(m *coherence.Msg) {
+	addr := m.Addr.Line()
+	l.Nacked++
+	if _, ok := l.evictions[addr]; ok {
+		delete(l.evictions, addr)
+		l.pop(addr)
+		l.replayStalled()
+		return
+	}
+	if e := l.cache.Peek(addr); e != nil && e.V.txn != nil && e.V.txn.kind == sl2Fetch {
+		l.cache.Invalidate(addr)
+	}
+}
+
+// send stamps the hierarchy's epoch and hands the message to the fabric
+// (every protocol message the L2 emits — guard-bound or internal —
+// carries the epoch).
+func (l *SharedL2) send(m *coherence.Msg) {
+	m.Epoch = l.epoch
+	l.fab.Send(m)
+}
 
 // --- inner L1 requests ---
 

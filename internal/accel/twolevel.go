@@ -54,6 +54,13 @@ type InnerL1 struct {
 	waitingOps map[mem.Addr][]*coherence.Msg
 	stalledOps []*coherence.Msg
 
+	// epoch is the guard epoch the hierarchy operates under (0 until the
+	// first device reset); stamped on every protocol send, checked on
+	// every protocol receive.
+	epoch uint32
+	// StaleDrops counts protocol messages dropped for a stale epoch.
+	StaleDrops uint64
+
 	Cov *coherence.Coverage
 }
 
@@ -91,17 +98,45 @@ func (c *InnerL1) Recv(m *coherence.Msg) {
 	case coherence.ReqLoad, coherence.ReqStore:
 		c.handleCPU(m)
 	case coherence.XDataS, coherence.XDataM:
+		if m.Epoch != c.epoch {
+			c.StaleDrops++
+			return
+		}
 		c.handleData(m)
 	case coherence.XWBAck:
+		if m.Epoch != c.epoch {
+			c.StaleDrops++
+			return
+		}
 		c.handleWBAck(m)
 	case coherence.XInv:
+		if m.Epoch != c.epoch {
+			c.StaleDrops++
+			return
+		}
 		c.handleInv(m)
 	default:
 		panic(fmt.Sprintf("%s: unexpected %v", c.name, m))
 	}
 }
 
-func (c *InnerL1) send(m *coherence.Msg) { c.fab.Send(m) }
+// Reset reinitializes the inner L1 under a new guard epoch (the recovery
+// protocol's device-reset step): lines to Invalid, in-flight operations
+// forgotten (the sequencer abort drops their core ops in the same
+// reset).
+func (c *InnerL1) Reset(epoch uint32) {
+	c.epoch = epoch
+	c.cache = cacheset.New[innerLine](c.cfg.L1Sets, c.cfg.L1Ways)
+	c.wb = make(map[mem.Addr]*innerLine)
+	c.waitingOps = make(map[mem.Addr][]*coherence.Msg)
+	c.stalledOps = nil
+}
+
+// send stamps the hierarchy's epoch and hands the message to the fabric.
+func (c *InnerL1) send(m *coherence.Msg) {
+	m.Epoch = c.epoch
+	c.fab.Send(m)
+}
 
 func (c *InnerL1) handleCPU(m *coherence.Msg) {
 	line := m.Addr.Line()

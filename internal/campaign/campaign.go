@@ -93,9 +93,15 @@ type Report struct {
 	Elapsed time.Duration
 	// Workers is the pool size used.
 	Workers int
-	// Quarantines counts shards whose guard fenced its accelerator
-	// (chaos campaigns; graceful degradation, reported distinctly).
+	// Quarantines counts shards with a guard still fencing its
+	// accelerator at end of run (chaos campaigns; graceful degradation,
+	// reported distinctly). Shards whose guards recovered and stayed
+	// healthy do not count.
 	Quarantines int
+	// Recoveries totals guard reintegrations (device resets followed by
+	// readmission) across all shards; nonzero only in recovery-armed
+	// campaigns.
+	Recoveries uint64
 }
 
 // Process exit codes shared by the campaign CLIs (xgcampaign, xgstress,
@@ -175,6 +181,14 @@ func (r *Report) WriteTrace(w io.Writer) error {
 // regardless of worker count.
 func (r *Report) WriteObs(w io.Writer) error {
 	lw := consistency.NewLogWriter(w)
+	// Recovery-armed campaigns must use the epoch-carrying v3 format even
+	// if the first recorded shard happened not to reset its device.
+	for i := range r.Shards {
+		if r.Shards[i].Spec.RecoverAfter > 0 {
+			lw.RequireV3()
+			break
+		}
+	}
 	for i := range r.Shards {
 		s := &r.Shards[i]
 		if len(s.Recs) == 0 {
@@ -412,6 +426,7 @@ func aggregate(results []ShardResult, elapsed time.Duration, workers int) *Repor
 		if s.Quarantined {
 			rep.Quarantines++
 		}
+		rep.Recoveries += s.Recoveries
 		for code, n := range s.ByCode {
 			rep.ByCode[code] += n
 		}

@@ -18,6 +18,7 @@ import (
 	"crossingguard/internal/obs"
 	"crossingguard/internal/perm"
 	"crossingguard/internal/seq"
+	"crossingguard/internal/sim"
 	"crossingguard/internal/tester"
 )
 
@@ -96,6 +97,19 @@ type ShardSpec struct {
 	// sanctioned corruption from a guard bug.
 	Consistency bool
 
+	// RecoverAfter arms quarantine recovery: nonzero makes a quarantined
+	// guard drain, reset, and readmit its device after this many ticks
+	// (backed off per prior readmission). 0 keeps quarantine terminal —
+	// the historical behavior.
+	RecoverAfter sim.Time
+	// MaxRecoveries bounds readmissions per guard (0 = guard default 3).
+	MaxRecoveries int
+	// RecoverBackoff is the per-readmission delay multiplier (0 = guard
+	// default 2).
+	RecoverBackoff int
+	// RecoverBackoffCap caps the backed-off delay (0 = no cap).
+	RecoverBackoffCap sim.Time
+
 	// Model names the adversarial accelerator for chaos shards (one of
 	// accel.AllAdvModels' spec names).
 	Model string
@@ -133,13 +147,18 @@ type ShardResult struct {
 	Sent       uint64 // fuzz/chaos: attack messages injected
 	Injected   uint64 // chaos: fabric faults injected
 	Violations uint64 // protocol violations detected and classified
-	// Quarantined reports that a guard fenced its accelerator (chaos
-	// shards; graceful degradation, not a failure).
+	// Quarantined reports that a guard was fencing its accelerator at end
+	// of run (chaos shards; graceful degradation, not a failure). A guard
+	// that recovered and stayed healthy does not count.
 	Quarantined bool
-	ByCode      map[string]uint64
-	Cov         map[string]*coherence.Coverage
-	Err         error
-	TraceDump   string
+	// Recoveries counts guard reintegrations (drain + device reset +
+	// readmission) across the shard's guards; nonzero only when
+	// RecoverAfter armed recovery.
+	Recoveries uint64
+	ByCode     map[string]uint64
+	Cov        map[string]*coherence.Coverage
+	Err        error
+	TraceDump  string
 	// Obs is the shard machine's metrics registry (nil for custom
 	// shards); the aggregator merges shard registries in index order.
 	Obs *obs.Registry
@@ -352,6 +371,8 @@ func runChaosShard(res *ShardResult, trace bool) {
 		CPUs: spec.CPUs, AccelCores: 1, Accels: spec.Accels, Shards: spec.Shards,
 		Seed: spec.Seed * 41, Small: true,
 		Timeout: 2000, RecallRetries: 2, QuarantineAfter: 25,
+		RecoverAfter: spec.RecoverAfter, MaxRecoveries: spec.MaxRecoveries,
+		RecoverBackoff: spec.RecoverBackoff, RecoverBackoffCap: spec.RecoverBackoffCap,
 		Perms: perms, Faults: &plan, Consistency: newRecorder(spec),
 		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
 			// One adversary per device. Device 0 keeps the historical seed
@@ -368,6 +389,10 @@ func runChaosShard(res *ShardResult, trace bool) {
 				cfg.VictimPool = fuzzPool(base)
 			}
 			adv := accel.NewAdversary(accelID, xgID, s.Eng, s.Fab, cfg)
+			// Rejoin the epoch protocol after a device reset; without this
+			// a recovered adversary keeps stamping its old epoch and every
+			// message it sends is dropped as stale.
+			s.OnDeviceReset(accelID, adv.Reset)
 			advs = append(advs, adv)
 			return adv.Outstanding
 		}})
@@ -396,6 +421,7 @@ func runChaosShard(res *ShardResult, trace bool) {
 		if g.Quarantined {
 			res.Quarantined = true
 		}
+		res.Recoveries += uint64(g.Recoveries())
 	}
 	res.Violations = uint64(sys.Log.Count())
 	for code, n := range sys.Log.ByCode {
@@ -473,6 +499,20 @@ func FormatSpec(s ShardSpec) string {
 	}
 	if s.Shards > 1 {
 		parts = append(parts, "shards="+strconv.Itoa(s.Shards))
+	}
+	// Recovery keys are emitted only when set, so pre-recovery repro
+	// strings render byte-identically.
+	if s.RecoverAfter > 0 {
+		parts = append(parts, "recover="+strconv.FormatInt(int64(s.RecoverAfter), 10))
+	}
+	if s.MaxRecoveries > 0 {
+		parts = append(parts, "maxrec="+strconv.Itoa(s.MaxRecoveries))
+	}
+	if s.RecoverBackoff > 0 {
+		parts = append(parts, "backoff="+strconv.Itoa(s.RecoverBackoff))
+	}
+	if s.RecoverBackoffCap > 0 {
+		parts = append(parts, "backoffcap="+strconv.FormatInt(int64(s.RecoverBackoffCap), 10))
 	}
 	switch s.Kind {
 	case KindStress:
@@ -577,6 +617,26 @@ func ParseSpec(text string) (ShardSpec, error) {
 					return spec, fmt.Errorf("campaign: shards %d is not a power of two", n)
 				}
 				spec.Shards = n
+			}
+		case "recover", "backoffcap":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return spec, fmt.Errorf("campaign: bad %s %q", k, v)
+			}
+			if k == "recover" {
+				spec.RecoverAfter = sim.Time(n)
+			} else {
+				spec.RecoverBackoffCap = sim.Time(n)
+			}
+		case "maxrec", "backoff":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return spec, fmt.Errorf("campaign: bad %s %q", k, v)
+			}
+			if k == "maxrec" {
+				spec.MaxRecoveries = n
+			} else {
+				spec.RecoverBackoff = n
 			}
 		case "confined":
 			spec.Confined = v == "1" || v == "true"

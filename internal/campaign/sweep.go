@@ -43,9 +43,11 @@ func FuzzSweep(seeds, cpus, messages int) []ShardSpec {
 }
 
 // AccelCounts is the device counts MultiAccelSweep covers: the
-// historical single-accelerator machine, plus two- and four-device
-// machines where every device sits behind its own guard.
-var AccelCounts = []int{1, 2, 4}
+// historical single-accelerator machine, then power-of-two machines up
+// to sixteen devices, every device behind its own guard. The larger
+// counts exercise the host protocol's broadcast/directory paths with a
+// peer set far beyond the paper's evaluation.
+var AccelCounts = []int{1, 2, 4, 8, 16}
 
 // MultiAccelSweep builds the multi-accelerator shard set: (host x guard
 // organization x accel count x seed) stress shards, plus a confined
@@ -107,6 +109,41 @@ func ChaosSweep(seeds, cpus, messages int) []ShardSpec {
 						}
 					}
 				}
+			}
+		}
+	}
+	// Cross-device false sharing: two devices, each behind its own guard,
+	// hammering the same 8 lines (the device-1 adversary's victim pool is
+	// device 0's pool) while the CPUs stress them too — every line
+	// ping-pongs through two guards and the host protocol at once.
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range FuzzOrgs {
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				specs = append(specs, ShardSpec{Kind: KindChaos, Host: host, Org: org,
+					Seed: seed, CPUs: cpus, Messages: messages, Accels: 2,
+					Model: accel.AdvStaleWriter.String(), Confined: true})
+			}
+		}
+	}
+	return specs
+}
+
+// RecoverySweep builds the chaos-recovery shard set: flapper adversaries
+// — correct, then a violation burst, then correct again — behind guards
+// armed for quarantine AND readmission. Each cell asserts graceful
+// degradation with reintegration: the device trips quarantine, the
+// guard drains and resets it, and the recovered device runs clean under
+// the new epoch; confined permissions plus consistency recording prove
+// the host never reads corrupted data across the reset.
+func RecoverySweep(seeds, cpus, messages int) []ShardSpec {
+	var specs []ShardSpec
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range FuzzOrgs {
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				specs = append(specs, ShardSpec{Kind: KindChaos, Host: host, Org: org,
+					Seed: seed, CPUs: cpus, Messages: messages,
+					Model: accel.AdvFlapper.String(), Confined: true, Consistency: true,
+					RecoverAfter: 5000})
 			}
 		}
 	}

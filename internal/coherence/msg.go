@@ -215,6 +215,13 @@ type Msg struct {
 	Acks      int        // invalidation acks the requestor must await
 	Val       byte       // byte operand/result for sequencer-level ops
 	Tag       uint64     // sequencer-level operation id, echoed in responses
+	// Epoch is the guard epoch the message was issued under. 0 — the
+	// epoch of a guard that has never been reset — is omitted from
+	// rendering, so pre-recovery traces are byte-identical. A guard that
+	// has reintegrated its device stamps its bumped epoch on every
+	// outbound accelerator message and rejects accelerator messages
+	// carrying an older epoch as XG.StaleEpoch.
+	Epoch uint32
 }
 
 // Bytes returns the modeled wire size of the message.
@@ -243,6 +250,9 @@ func (m *Msg) String() string {
 	}
 	if m.Shared {
 		s += " shared"
+	}
+	if m.Epoch != 0 {
+		s += fmt.Sprintf(" epoch=%d", m.Epoch)
 	}
 	return s
 }

@@ -181,6 +181,21 @@ type Spec struct {
 	// QuarantineAfter sets the guard's quarantine threshold (0 = never
 	// fence the accelerator).
 	QuarantineAfter int
+	// RecoverAfter, when nonzero, arms quarantine recovery: a quarantined
+	// guard waits this many ticks (scaled by the backoff for repeat
+	// offenders), then drains the device, resets its cache hierarchy, and
+	// readmits it under a bumped guard epoch. 0 (the default) keeps
+	// quarantine terminal, reproducing the pre-recovery machine exactly.
+	RecoverAfter sim.Time
+	// MaxRecoveries bounds readmissions per guard before quarantine
+	// becomes permanent (0 = default 3).
+	MaxRecoveries int
+	// RecoverBackoff is the multiplier applied to RecoverAfter per prior
+	// readmission — exponential backoff for flapping devices (0 =
+	// default 2; 1 = constant delay).
+	RecoverBackoff int
+	// RecoverBackoffCap caps the backed-off recovery delay (0 = no cap).
+	RecoverBackoffCap sim.Time
 	// Faults, when set and active, installs a deterministic fault
 	// injector on the fabric watching every guard<->accelerator channel
 	// (chaos testing). Non-XG organizations ignore it.
@@ -283,6 +298,34 @@ type System struct {
 	// innerGroups pairs each two-level device's shared L2 with its own
 	// inner L1s, so the inner-hierarchy audit never mixes devices.
 	innerGroups []innerGroup
+	// deviceResets maps accelerator-side node ids to the reset functions
+	// registered by OnDeviceReset (custom accelerators joining the
+	// quarantine-recovery protocol).
+	deviceResets map[coherence.NodeID][]func(epoch uint32)
+}
+
+// OnDeviceReset registers fn to run when the guard fronting accelID
+// resets its device during quarantine recovery (the guard epoch the
+// device reintegrates under is passed in). Custom accelerator builders
+// (Spec.CustomAccel) call this so their models rejoin under the new
+// epoch — an unregistered model keeps stamping its old epoch after a
+// reset and every message it sends is dropped as stale.
+func (s *System) OnDeviceReset(accelID coherence.NodeID, fn func(epoch uint32)) {
+	if s.deviceResets == nil {
+		s.deviceResets = map[coherence.NodeID][]func(epoch uint32){}
+	}
+	s.deviceResets[accelID] = append(s.deviceResets[accelID], fn)
+}
+
+// deviceResetHook returns the guard reset hook for a custom accelerator:
+// it fans the epoch out to every function registered under accelID (the
+// map is consulted at fire time, so registration order is free).
+func (s *System) deviceResetHook(accelID coherence.NodeID) func(epoch uint32) {
+	return func(epoch uint32) {
+		for _, fn := range s.deviceResets[accelID] {
+			fn(epoch)
+		}
+	}
 }
 
 // innerGroup is one two-level device's shared L2 plus its inner L1s.
@@ -404,16 +447,20 @@ func (s *System) accelCfg(small bool) accel.Config {
 
 func (s *System) guardCfg(spec Spec, lat Latencies) core.Config {
 	return core.Config{
-		Mode:            spec.Org.Mode(),
-		Perms:           spec.Perms,
-		Timeout:         spec.Timeout,
-		GuardLat:        lat.GuardLat,
-		Rate:            spec.Rate,
-		DisableAfter:    spec.DisableAfter,
-		RecallRetries:   spec.RecallRetries,
-		QuarantineAfter: spec.QuarantineAfter,
-		Shards:          spec.Shards,
-		BatchGrants:     spec.BatchGrants,
+		Mode:              spec.Org.Mode(),
+		Perms:             spec.Perms,
+		Timeout:           spec.Timeout,
+		GuardLat:          lat.GuardLat,
+		Rate:              spec.Rate,
+		DisableAfter:      spec.DisableAfter,
+		RecallRetries:     spec.RecallRetries,
+		QuarantineAfter:   spec.QuarantineAfter,
+		RecoverAfter:      spec.RecoverAfter,
+		MaxRecoveries:     spec.MaxRecoveries,
+		RecoverBackoff:    spec.RecoverBackoff,
+		RecoverBackoffCap: spec.RecoverBackoffCap,
+		Shards:            spec.Shards,
+		BatchGrants:       spec.BatchGrants,
 	}
 }
 
@@ -491,7 +538,7 @@ func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 				s.Guards = append(s.Guards, g)
 				s.HDir.AddPeer(g.ID())
 				s.outstandingFns = append(s.outstandingFns, g.Outstanding)
-				s.attachAccelL1(spec, lat, acID, xgID, d, i)
+				s.attachAccelL1(spec, lat, g, acID, xgID, d, i)
 			}
 		default: // two-level
 			xgID := devID(d, nodeXG, 0)
@@ -502,20 +549,22 @@ func (s *System) buildHammer(spec Spec, lat Latencies, txnMods bool) {
 			s.Guards = append(s.Guards, g)
 			s.HDir.AddPeer(g.ID())
 			s.outstandingFns = append(s.outstandingFns, g.Outstanding)
-			s.buildTwoLevelAccel(spec, lat, xgID, d)
+			s.buildTwoLevelAccel(spec, lat, g, xgID, d)
 		}
 	}
 }
 
 // attachAccelL1 wires device d's single-level accelerator cache (or the
-// custom accelerator provided by the spec) behind one guard.
-func (s *System) attachAccelL1(spec Spec, lat Latencies, acID, xgID coherence.NodeID, d, i int) {
+// custom accelerator provided by the spec) behind guard g, including the
+// guard's device-reset hook for quarantine recovery.
+func (s *System) attachAccelL1(spec Spec, lat Latencies, g *core.Guard, acID, xgID coherence.NodeID, d, i int) {
 	s.Fab.SetRoutePair(acID, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
 	if spec.CustomAccel != nil {
 		s.guardAccelView = append(s.guardAccelView, nil)
 		if fn := spec.CustomAccel(s, acID, xgID); fn != nil {
 			s.outstandingFns = append(s.outstandingFns, fn)
 		}
+		g.SetResetHook(s.deviceResetHook(acID))
 		return
 	}
 	l1 := accel.NewL1Cache(acID, devName(d, fmt.Sprintf("accelL1[%d]", i)), s.Eng, s.Fab, xgID, s.accelCfg(spec.Small))
@@ -526,6 +575,14 @@ func (s *System) attachAccelL1(spec Spec, lat Latencies, acID, xgID coherence.No
 	s.AccelSeqs = append(s.AccelSeqs, sq)
 	s.accelSeqDevs = append(s.accelSeqDevs, d)
 	s.Fab.SetRoutePair(sq.ID(), acID, network.Config{Latency: lat.CoreToCache, Ordered: true})
+	// Device reset: abort the core's in-flight operations first (no
+	// completions will come), then wipe the cache under the new epoch.
+	// sq.Rec is attached after build; the closure reads it at fire time.
+	g.SetResetHook(func(epoch uint32) {
+		sq.Abort()
+		sq.Rec.SetEpoch(epoch)
+		l1.Reset(epoch)
+	})
 }
 
 func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
@@ -574,7 +631,7 @@ func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
 				g.AttachObs(s.Obs)
 				s.Guards = append(s.Guards, g)
 				s.outstandingFns = append(s.outstandingFns, g.Outstanding)
-				s.attachAccelL1(spec, lat, acID, xgID, d, i)
+				s.attachAccelL1(spec, lat, g, acID, xgID, d, i)
 			}
 		default:
 			xgID := devID(d, nodeXG, 0)
@@ -584,16 +641,19 @@ func (s *System) buildMESI(spec Spec, lat Latencies, txnMods bool) {
 			g.AttachObs(s.Obs)
 			s.Guards = append(s.Guards, g)
 			s.outstandingFns = append(s.outstandingFns, g.Outstanding)
-			s.buildTwoLevelAccel(spec, lat, xgID, d)
+			s.buildTwoLevelAccel(spec, lat, g, xgID, d)
 		}
 	}
 }
 
 // buildTwoLevelAccel wires device d's Figure 2d accelerator: inner L1s
-// behind the device's shared accelerator L2 which talks to its guard.
-func (s *System) buildTwoLevelAccel(spec Spec, lat Latencies, xgID coherence.NodeID, d int) {
+// behind the device's shared accelerator L2 which talks to guard g,
+// including the guard's device-reset hook for quarantine recovery.
+func (s *System) buildTwoLevelAccel(spec Spec, lat Latencies, g *core.Guard, xgID coherence.NodeID, d int) {
 	l2ID := devID(d, nodeAccelL2, 0)
 	if spec.Org == OrgXGWeak && spec.CustomAccel == nil {
+		// The weak hierarchy predates the epoch protocol and does not
+		// participate in quarantine recovery (no reset hook is wired).
 		s.buildWeakAccel(spec, lat, xgID)
 		return
 	}
@@ -603,6 +663,7 @@ func (s *System) buildTwoLevelAccel(spec Spec, lat Latencies, xgID coherence.Nod
 		if fn := spec.CustomAccel(s, l2ID, xgID); fn != nil {
 			s.outstandingFns = append(s.outstandingFns, fn)
 		}
+		g.SetResetHook(s.deviceResetHook(l2ID))
 		return
 	}
 	acfg := s.accelCfg(spec.Small)
@@ -615,6 +676,7 @@ func (s *System) buildTwoLevelAccel(spec Spec, lat Latencies, xgID coherence.Nod
 	s.guardAccelView = append(s.guardAccelView, sharedL2View(l2))
 	s.outstandingFns = append(s.outstandingFns, l2.Outstanding)
 	s.Fab.SetRoutePair(l2ID, xgID, network.Config{Latency: lat.Crossing, Jitter: lat.Jitter, Ordered: true})
+	var seqs []*seq.Sequencer
 	for i := 0; i < spec.AccelCores; i++ {
 		id := devID(d, nodeAccel, i)
 		l1 := accel.NewInnerL1(id, devName(d, fmt.Sprintf("accel2L.L1[%d]", i)), s.Eng, s.Fab, l2ID, acfg)
@@ -623,11 +685,26 @@ func (s *System) buildTwoLevelAccel(spec Spec, lat Latencies, xgID coherence.Nod
 		s.outstandingFns = append(s.outstandingFns, l1.Outstanding)
 		sq := seq.New(devID(d, nodeAccSeq, i), devName(d, fmt.Sprintf("acc[%d]", i)), s.Eng, s.Fab, id)
 		s.AccelSeqs = append(s.AccelSeqs, sq)
+		seqs = append(seqs, sq)
 		s.accelSeqDevs = append(s.accelSeqDevs, d)
 		s.Fab.SetRoutePair(sq.ID(), id, network.Config{Latency: lat.CoreToCache, Ordered: true})
 		s.Fab.SetRoutePair(id, l2ID, network.Config{Latency: lat.AccelHop, Jitter: 1, Ordered: true})
 	}
 	s.innerGroups = append(s.innerGroups, group)
+	// Device reset: abort every core's operations, then wipe the whole
+	// hierarchy — inner L1s before the shared L2 so no L1 retains a line
+	// the L2 no longer tracks (inclusivity).
+	l1s := group.l1s
+	g.SetResetHook(func(epoch uint32) {
+		for _, sq := range seqs {
+			sq.Abort()
+			sq.Rec.SetEpoch(epoch)
+		}
+		for _, l1 := range l1s {
+			l1.Reset(epoch)
+		}
+		l2.Reset(epoch)
+	})
 }
 
 // buildWeakAccel wires the weakly-coherent hierarchy: incoherent WeakL1s

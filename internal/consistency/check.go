@@ -64,10 +64,14 @@ func (v *Violation) String() string {
 }
 
 func fmtRec(r Rec) string {
-	if r.Accel != 0 {
-		return fmt.Sprintf("[a%d core %d %s=0x%02x t=%d..%d]", r.Accel, r.Core, r.Op, r.Val, r.Issued, r.Done)
+	epoch := ""
+	if r.Epoch != 0 {
+		epoch = fmt.Sprintf(" e%d", r.Epoch)
 	}
-	return fmt.Sprintf("[core %d %s=0x%02x t=%d..%d]", r.Core, r.Op, r.Val, r.Issued, r.Done)
+	if r.Accel != 0 {
+		return fmt.Sprintf("[a%d%s core %d %s=0x%02x t=%d..%d]", r.Accel, epoch, r.Core, r.Op, r.Val, r.Issued, r.Done)
+	}
+	return fmt.Sprintf("[core %d%s %s=0x%02x t=%d..%d]", r.Core, epoch, r.Op, r.Val, r.Issued, r.Done)
 }
 
 // Options configures a check.
@@ -189,8 +193,19 @@ func Check(recs []Rec, opt Options) *Verdict {
 	return v
 }
 
-// hb reports A happens-before B: strictly completed before B issued.
-func hb(a, b Rec) bool { return a.Done < b.Issued }
+// hb reports A happens-before B: strictly completed before B issued —
+// or, for two operations of the same accelerator device, A completed
+// under an earlier guard epoch. A device reset fences the device (the
+// guard drains every transaction and wipes the hierarchy before bumping
+// the epoch), so cross-epoch operations are never truly concurrent even
+// when their ticks overlap; the fence lets the checker convict a
+// post-reset read that returns pre-reset stale data.
+func hb(a, b Rec) bool {
+	if a.Done < b.Issued {
+		return true
+	}
+	return a.Accel != 0 && a.Accel == b.Accel && a.Epoch < b.Epoch
+}
 
 // concurrent reports overlapping windows (neither ordered before the
 // other). Equal-tick meetings count as concurrent (strict comparisons).

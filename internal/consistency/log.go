@@ -5,8 +5,12 @@
 // renders to identical bytes.
 //
 // Writers emit xgobs v2, which adds the accel column (the device tag of
-// the recording core) between shard and core. ReadLog accepts both v2
-// and the historical v1 format — v1 records parse with accel 0.
+// the recording core) between shard and core — or xgobs v3, which adds
+// the guard-epoch column after accel, but only when some record actually
+// carries a nonzero epoch (a run with quarantine recovery), so logs from
+// recovery-free runs stay byte-identical to the v2 format. ReadLog
+// accepts v3, v2, and the historical v1 format — v1 records parse with
+// accel 0, v1/v2 records with epoch 0.
 package consistency
 
 import (
@@ -21,35 +25,70 @@ import (
 	"crossingguard/internal/sim"
 )
 
-// logHeader is the first line of every observation log written today.
+// logHeader is the first line of recovery-free observation logs.
 const logHeader = "# xgobs v2"
 
 // logHeaderV1 is the historical header; ReadLog still accepts it.
 const logHeaderV1 = "# xgobs v1"
 
-// logColumns documents the field order of every record line.
+// logHeaderV3 heads logs whose records carry guard epochs.
+const logHeaderV3 = "# xgobs v3"
+
+// logColumns documents the field order of every v2 record line.
 const logColumns = "# shard accel core op addr val issued done"
 
-// WriteLog writes recs as one xgobs v2 log, every line tagged with the
-// given shard index. Records are written in the order given (callers
-// pass Recorder.Merged() or another canonical order).
+// logColumnsV3 documents the field order of every v3 record line.
+const logColumnsV3 = "# shard accel epoch core op addr val issued done"
+
+// hasEpoch reports whether any record carries a nonzero guard epoch
+// (i.e. a device reset happened during the run).
+func hasEpoch(recs []Rec) bool {
+	for _, r := range recs {
+		if r.Epoch != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteLog writes recs as one xgobs log, every line tagged with the
+// given shard index — v3 when any record carries a nonzero guard epoch,
+// v2 otherwise. Records are written in the order given (callers pass
+// Recorder.Merged() or another canonical order).
 func WriteLog(w io.Writer, shard int, recs []Rec) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, logHeader)
-	fmt.Fprintln(bw, logColumns)
-	if err := writeShard(bw, shard, recs); err != nil {
+	v3 := hasEpoch(recs)
+	writeHeader(bw, v3)
+	if err := writeShard(bw, shard, recs, v3); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
+func writeHeader(w io.Writer, v3 bool) {
+	if v3 {
+		fmt.Fprintln(w, logHeaderV3)
+		fmt.Fprintln(w, logColumnsV3)
+	} else {
+		fmt.Fprintln(w, logHeader)
+		fmt.Fprintln(w, logColumns)
+	}
+}
+
 // writeShard appends record lines without a header (the multi-shard
 // exporter in the campaign package writes one header then appends every
 // shard in index order).
-func writeShard(w io.Writer, shard int, recs []Rec) error {
+func writeShard(w io.Writer, shard int, recs []Rec, v3 bool) error {
 	for _, r := range recs {
-		if _, err := fmt.Fprintf(w, "%d %d %d %s 0x%x 0x%02x %d %d\n",
-			shard, r.Accel, r.Core, r.Op, uint64(r.Addr), r.Val, uint64(r.Issued), uint64(r.Done)); err != nil {
+		var err error
+		if v3 {
+			_, err = fmt.Fprintf(w, "%d %d %d %d %s 0x%x 0x%02x %d %d\n",
+				shard, r.Accel, r.Epoch, r.Core, r.Op, uint64(r.Addr), r.Val, uint64(r.Issued), uint64(r.Done))
+		} else {
+			_, err = fmt.Fprintf(w, "%d %d %d %s 0x%x 0x%02x %d %d\n",
+				shard, r.Accel, r.Core, r.Op, uint64(r.Addr), r.Val, uint64(r.Issued), uint64(r.Done))
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -61,26 +100,41 @@ func writeShard(w io.Writer, shard int, recs []Rec) error {
 type LogWriter struct {
 	bw     *bufio.Writer
 	header bool
+	v3     bool
 }
 
 // NewLogWriter returns a writer targeting w.
 func NewLogWriter(w io.Writer) *LogWriter { return &LogWriter{bw: bufio.NewWriter(w)} }
 
-// Add appends one shard's records (header is written on first use).
+// RequireV3 forces the epoch-carrying v3 format. The header (and with it
+// the version) is fixed at the first Add, so callers whose LATER shards
+// may carry epochs — a recovery campaign whose first shard happened not
+// to reset — must call this before the first Add. No-op after the header
+// is written.
+func (lw *LogWriter) RequireV3() {
+	if !lw.header {
+		lw.v3 = true
+	}
+}
+
+// Add appends one shard's records (header is written on first use; the
+// v3 format is selected if these records carry epochs or RequireV3 was
+// called).
 func (lw *LogWriter) Add(shard int, recs []Rec) error {
 	if !lw.header {
-		fmt.Fprintln(lw.bw, logHeader)
-		fmt.Fprintln(lw.bw, logColumns)
+		if hasEpoch(recs) {
+			lw.v3 = true
+		}
+		writeHeader(lw.bw, lw.v3)
 		lw.header = true
 	}
-	return writeShard(lw.bw, shard, recs)
+	return writeShard(lw.bw, shard, recs, lw.v3)
 }
 
 // Flush completes the log.
 func (lw *LogWriter) Flush() error {
 	if !lw.header {
-		fmt.Fprintln(lw.bw, logHeader)
-		fmt.Fprintln(lw.bw, logColumns)
+		writeHeader(lw.bw, lw.v3)
 		lw.header = true
 	}
 	return lw.bw.Flush()
@@ -92,16 +146,16 @@ type ShardRecs struct {
 	Recs  []Rec
 }
 
-// ReadLog parses an xgobs log — v2, or the accel-less v1 — and returns
-// the records grouped by shard index, shards in ascending order,
-// records in file order within each shard.
+// ReadLog parses an xgobs log — v3, v2, or the accel-less v1 — and
+// returns the records grouped by shard index, shards in ascending
+// order, records in file order within each shard.
 func ReadLog(r io.Reader) ([]ShardRecs, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	byShard := map[int][]Rec{}
 	lineNo := 0
 	sawHeader := false
-	v1 := false
+	v1, v3 := false, false
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -114,6 +168,8 @@ func ReadLog(r io.Reader) ([]ShardRecs, error) {
 				case logHeader:
 				case logHeaderV1:
 					v1 = true
+				case logHeaderV3:
+					v3 = true
 				default:
 					return nil, fmt.Errorf("consistency: not an observation log (got %q, want %q)", line, logHeader)
 				}
@@ -129,6 +185,9 @@ func ReadLog(r io.Reader) ([]ShardRecs, error) {
 		if v1 {
 			want = 7
 		}
+		if v3 {
+			want = 9
+		}
 		if len(f) != want {
 			return nil, fmt.Errorf("consistency: line %d: want %d fields, got %d", lineNo, want, len(f))
 		}
@@ -141,6 +200,14 @@ func ReadLog(r io.Reader) ([]ShardRecs, error) {
 			accel, err = strconv.ParseInt(f[1], 10, 32)
 			if err != nil {
 				return nil, fmt.Errorf("consistency: line %d: bad accel %q", lineNo, f[1])
+			}
+			f = f[1:] // the remaining columns line up with v1
+		}
+		epoch := uint64(0)
+		if v3 {
+			epoch, err = strconv.ParseUint(f[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("consistency: line %d: bad epoch %q", lineNo, f[1])
 			}
 			f = f[1:] // the remaining columns line up with v1
 		}
@@ -170,7 +237,8 @@ func ReadLog(r io.Reader) ([]ShardRecs, error) {
 		}
 		byShard[shard] = append(byShard[shard], Rec{
 			Issued: sim.Time(issued), Done: sim.Time(done),
-			Addr: mem.Addr(addr), Core: int32(core), Accel: int32(accel), Op: op, Val: byte(val),
+			Addr: mem.Addr(addr), Core: int32(core), Accel: int32(accel),
+			Epoch: uint32(epoch), Op: op, Val: byte(val),
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -208,6 +276,9 @@ func Tail(recs []Rec, n int) string {
 		dev := ""
 		if r.Accel != 0 {
 			dev = fmt.Sprintf(" accel=%d", r.Accel)
+		}
+		if r.Epoch != 0 {
+			dev += fmt.Sprintf(" epoch=%d", r.Epoch)
 		}
 		fmt.Fprintf(&b, "t=%d..%d core=%d%s %s %v = 0x%02x\n",
 			uint64(r.Issued), uint64(r.Done), r.Core, dev, r.Op, r.Addr, r.Val)

@@ -81,6 +81,13 @@ type Rec struct {
 	// device-blind (coherence is global), but violation reports carry the
 	// tag so a cross-accelerator SWMR break names both devices involved.
 	Accel int32
+	// Epoch is the guard epoch the operation completed under (0 until the
+	// device's first reset). A device reset wipes the accelerator
+	// hierarchy, so the checker treats an epoch bump as a happens-before
+	// fence for that device: every pre-reset operation precedes every
+	// post-reset one, and a post-reset read returning pre-reset stale data
+	// is a conviction even when the ticks alone would permit it.
+	Epoch uint32
 	Op    Op
 	Val   byte
 }
@@ -91,6 +98,7 @@ type Rec struct {
 type Stream struct {
 	core  int32
 	accel int32
+	epoch uint32
 	name  string
 	recs  []Rec
 }
@@ -107,8 +115,18 @@ func (s *Stream) Record(op Op, addr mem.Addr, val byte, issued, done sim.Time) {
 	}
 	s.recs = append(s.recs, Rec{
 		Issued: issued, Done: done, Addr: addr,
-		Core: s.core, Accel: s.accel, Op: op, Val: val,
+		Core: s.core, Accel: s.accel, Epoch: s.epoch, Op: op, Val: val,
 	})
+}
+
+// SetEpoch changes the guard epoch stamped on subsequent records (the
+// device-reset step of quarantine recovery calls this from the guard's
+// reset hook). No-op on a nil stream.
+func (s *Stream) SetEpoch(epoch uint32) {
+	if s == nil {
+		return
+	}
+	s.epoch = epoch
 }
 
 // Core returns the stream's core index.

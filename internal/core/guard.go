@@ -94,6 +94,11 @@ type hostShim interface {
 	busy(addr mem.Addr) bool
 	// outstanding reports open host-side transactions.
 	outstanding() int
+	// drain starts a guard-initiated writeback returning an owned block
+	// to the host during quarantine recovery (the accelerator is fenced
+	// and cannot be consulted; data is the guard's trusted copy or a
+	// zero block, the Guarantee 2c substitution).
+	drain(addr mem.Addr, data *mem.Block, dirty bool)
 }
 
 // Config parameterizes a Crossing Guard instance.
@@ -126,6 +131,22 @@ type Config struct {
 	// Unlike DisableAfter's silent drop, quarantine keeps answering so a
 	// confused-but-live accelerator observes its fencing.
 	QuarantineAfter int
+	// RecoverAfter enables quarantine recovery: after this many ticks of
+	// backoff a quarantined device is drained, reset, and reintegrated
+	// under a bumped guard epoch. 0 (the default) keeps quarantine
+	// terminal — today's behavior, byte-for-byte.
+	RecoverAfter sim.Time
+	// MaxRecoveries bounds reintegrations: once a device has been
+	// readmitted this many times, the next quarantine is permanent (a
+	// flapping device converges to a fenced one). 0 defaults to 3 when
+	// recovery is enabled.
+	MaxRecoveries int
+	// RecoverBackoff multiplies the backoff delay per prior readmission
+	// (exponential backoff between recovery attempts). 0 defaults to 2;
+	// 1 keeps the delay constant.
+	RecoverBackoff int
+	// RecoverBackoffCap, when nonzero, caps the backed-off delay.
+	RecoverBackoffCap sim.Time
 	// Shards is the power-of-two number of address shards the guard's
 	// block table, open-transaction maps, and recall book are split
 	// across. 0 and 1 both mean a single shard (the degenerate case,
@@ -197,6 +218,24 @@ type Guard struct {
 	// trusted state, the accelerator is nacked).
 	Quarantined bool
 	errors      int
+
+	// epoch is the guard epoch: 0 until the first device reset, bumped
+	// on every reintegration. Stamped on outbound accelerator messages;
+	// accelerator messages carrying any other epoch are dropped as
+	// XG.StaleEpoch.
+	epoch uint32
+	// recoveries counts completed reintegrations; once it reaches the
+	// MaxRecoveries budget the next quarantine is permanent.
+	recoveries int
+	// recovering is set while a recovery (backoff, drain, or reset) is
+	// in flight, so a second scheduling attempt is inert.
+	recovering bool
+	// permanent marks a quarantine that recovery will never reopen.
+	permanent bool
+	// resetHook, when set, reinitializes the fenced accelerator
+	// hierarchy (caches to Invalid, sequencers flushed) under the new
+	// epoch at the reset step of recovery.
+	resetHook func(epoch uint32)
 
 	// Statistics.
 	PutSSuppressed  uint64 // PutS not forwarded (host evicts S silently)
@@ -353,6 +392,15 @@ func (g *Guard) Name() string { return g.name }
 // from exactly the one accelerator node it fronts.
 func (g *Guard) Recv(m *coherence.Msg) {
 	fromAccel := m.Src == g.accel
+	if fromAccel && m.Epoch != g.epoch {
+		// A pre-reset straggler (late data reply, duplicated or delayed
+		// message) delivered after reintegration bumped the epoch: drop
+		// it before it can touch the fresh table. Counted and traced as
+		// XG.StaleEpoch but not charged to the error score — the current
+		// device did not misbehave, its predecessor did.
+		g.staleEpoch(m)
+		return
+	}
 	switch {
 	case m.Type.IsAccelRequest():
 		if !fromAccel {
@@ -377,6 +425,23 @@ func (g *Guard) Recv(m *coherence.Msg) {
 }
 
 func (g *Guard) send(m *coherence.Msg) { g.fab.Send(m) }
+
+// staleEpoch drops one accelerator message carrying an outdated epoch.
+// Unlike violation, it neither scores the error nor reports to the sink:
+// a stale straggler is the fenced predecessor's traffic, and charging it
+// to the freshly readmitted device would re-trip quarantine on ghosts.
+func (g *Guard) staleEpoch(m *coherence.Msg) {
+	g.ReqsBlocked++
+	g.obsReg.Counter("guard.violation.XG.StaleEpoch").Inc()
+	g.obsReg.Counter("guard.violation.XG.StaleEpoch" + g.metricSuffix()).Inc()
+	if b := g.fab.Bus; b.Active() {
+		b.Emit(obs.Event{
+			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindViolation,
+			Addr: m.Addr.Line(), Accel: g.accelTag, Msg: m.Type,
+			Payload: fmt.Sprintf("XG.StaleEpoch: %v from epoch %d dropped (guard epoch %d)", m.Type, m.Epoch, g.epoch),
+		})
+	}
+}
 
 // after applies the guard's processing latency.
 func (g *Guard) after(fn func()) { g.eng.Schedule(g.cfg.GuardLat, fn) }
@@ -456,6 +521,7 @@ func (g *Guard) enterQuarantine(addr mem.Addr) {
 			sh.table.drop(a)
 		}
 	}
+	g.scheduleRecovery(addr)
 }
 
 // answerFromTrusted completes a recall on the accelerator's behalf: the
@@ -775,7 +841,8 @@ func (g *Guard) openPut(addr mem.Addr) *accelTxn {
 }
 
 func (g *Guard) sendToAccel(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool) {
-	g.send(&coherence.Msg{Type: ty, Addr: addr, Src: g.id, Dst: g.accel, Data: data, Dirty: dirty})
+	g.send(&coherence.Msg{Type: ty, Addr: addr, Src: g.id, Dst: g.accel, Data: data, Dirty: dirty,
+		Epoch: g.epoch})
 }
 
 // Outstanding reports open guard transactions (for deadlock detection).
@@ -807,6 +874,22 @@ func (g *Guard) StorageBytes() int {
 
 // Errors reports the number of guarantee violations recorded.
 func (g *Guard) Errors() int { return g.errors }
+
+// Epoch reports the guard epoch (0 until the first device reset).
+func (g *Guard) Epoch() uint32 { return g.epoch }
+
+// Recoveries reports completed quarantine reintegrations.
+func (g *Guard) Recoveries() int { return g.recoveries }
+
+// PermanentlyQuarantined reports whether the recovery policy has given up
+// on this device (MaxRecoveries exhausted).
+func (g *Guard) PermanentlyQuarantined() bool { return g.permanent }
+
+// SetResetHook installs the device-reset callback recovery invokes at the
+// reset step: the hook must reinitialize the accelerator hierarchy
+// (caches to Invalid, sequencers flushed) and adopt the new epoch.
+// Call before the simulation starts.
+func (g *Guard) SetResetHook(fn func(epoch uint32)) { g.resetHook = fn }
 
 // Mode reports the guard variant.
 func (g *Guard) Mode() Mode { return g.cfg.Mode }
@@ -854,6 +937,16 @@ func (g *Guard) openRecalls() int {
 	n := 0
 	for i := range g.shards {
 		n += len(g.shards[i].hosts)
+	}
+	return n
+}
+
+// openTxns counts open accelerator-initiated transactions across every
+// shard.
+func (g *Guard) openTxns() int {
+	n := 0
+	for i := range g.shards {
+		n += len(g.shards[i].txns)
 	}
 	return n
 }

@@ -36,6 +36,9 @@ func (s *stubShim) suppressPutS() bool                             { return s.su
 func (s *stubShim) recv(m *coherence.Msg)                          { s.received = append(s.received, m) }
 func (s *stubShim) busy(addr mem.Addr) bool                        { return false }
 func (s *stubShim) outstanding() int                               { return 0 }
+func (s *stubShim) drain(addr mem.Addr, data *mem.Block, dirty bool) {
+	s.puts = append(s.puts, addr)
+}
 
 // accelSink collects what the guard sends to the accelerator.
 type accelSink struct {

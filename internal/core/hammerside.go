@@ -99,6 +99,13 @@ func (s *hammerShim) relinquish(addr mem.Addr, data *mem.Block, dirty bool) {
 	s.send(&coherence.Msg{Type: coherence.HPut, Addr: addr, Src: s.g.id, Dst: s.dir})
 }
 
+// drain returns an owned line to the host during quarantine recovery:
+// the same guard-initiated writeback as relinquish (the fenced
+// accelerator never sees an ack for it).
+func (s *hammerShim) drain(addr mem.Addr, data *mem.Block, dirty bool) {
+	s.relinquish(addr, data, dirty)
+}
+
 func (s *hammerShim) recv(m *coherence.Msg) {
 	switch m.Type {
 	case coherence.HFwdGetS, coherence.HFwdGetSOnly:

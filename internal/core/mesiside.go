@@ -85,6 +85,16 @@ func (s *mesiShim) put(addr mem.Addr, data *mem.Block, dirty bool) {
 		Data: data.Copy(), Dirty: dirty})
 }
 
+// drain returns an owned line to the host during quarantine recovery: a
+// guard-initiated writeback. Its WBAck finds no accelerator transaction,
+// so putDone is a no-op and the fenced accelerator sees nothing.
+func (s *mesiShim) drain(addr mem.Addr, data *mem.Block, dirty bool) {
+	if _, busy := s.puts[addr]; busy {
+		return
+	}
+	s.put(addr, data, dirty)
+}
+
 func (s *mesiShim) recv(m *coherence.Msg) {
 	switch m.Type {
 	case coherence.MDataE, coherence.MDataS, coherence.MDataAcks,

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"crossingguard/internal/mem"
+	"crossingguard/internal/obs"
+	"crossingguard/internal/sim"
+)
+
+// Quarantine recovery (reset & reintegration): once the quarantine
+// policy has fenced a device and resolved its open recalls from trusted
+// state, an enabled recovery policy (Config.RecoverAfter > 0) brings the
+// device back instead of leaving it dead for the rest of the run:
+//
+//	fence -> backoff -> drain -> device reset -> reintegrate
+//
+// Backoff waits RecoverAfter ticks, multiplied by RecoverBackoff for
+// every prior readmission (capped at RecoverBackoffCap), so a flapping
+// device is readmitted ever more reluctantly and, after MaxRecoveries,
+// not at all. Drain waits for every in-flight transaction to settle and
+// returns every line the host still believes this guard holds (writeback
+// of the trusted copy, or the zero-block Guarantee 2c substitution, for
+// owned lines; PutS or silent drop for shared ones). Reset reinitializes
+// the accelerator hierarchy through the installed reset hook under a
+// bumped guard epoch. Reintegration reopens the guard with an empty
+// block table and a zero error score; stragglers from before the reset
+// are rejected as XG.StaleEpoch by the epoch check in Recv.
+
+// recoveryPoll is the drain-phase polling cadence: while transactions
+// are still settling, the recovery machine re-checks every this many
+// ticks. Purely a simulation-time constant, so recovery timing is
+// deterministic.
+const recoveryPoll sim.Time = 16
+
+// maxRecoveries resolves the readmission budget (0 defaults to 3).
+func (g *Guard) maxRecoveries() int {
+	if g.cfg.MaxRecoveries > 0 {
+		return g.cfg.MaxRecoveries
+	}
+	return 3
+}
+
+// recoverDelay computes the exponential backoff before the next
+// readmission attempt: RecoverAfter x RecoverBackoff^recoveries, capped
+// at RecoverBackoffCap when one is set.
+func (g *Guard) recoverDelay() sim.Time {
+	mult := g.cfg.RecoverBackoff
+	if mult <= 0 {
+		mult = 2
+	}
+	d := g.cfg.RecoverAfter
+	for i := 0; i < g.recoveries; i++ {
+		d *= sim.Time(mult)
+		if g.cfg.RecoverBackoffCap > 0 && d >= g.cfg.RecoverBackoffCap {
+			return g.cfg.RecoverBackoffCap
+		}
+	}
+	return d
+}
+
+// recoveryEvent emits one KindRecovery trace event (nil-safe: quiet when
+// no bus is attached).
+func (g *Guard) recoveryEvent(addr mem.Addr, payload string) {
+	if b := g.fab.Bus; b.Active() {
+		b.Emit(obs.Event{
+			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindRecovery,
+			Addr: addr, Accel: g.accelTag, Payload: payload,
+		})
+	}
+}
+
+// scheduleRecovery runs at the tail of enterQuarantine: with recovery
+// disabled (RecoverAfter == 0, the default) it does nothing and
+// quarantine stays terminal; otherwise it either arms the backed-off
+// readmission attempt or, with the budget exhausted, converts this
+// quarantine to a permanent one.
+func (g *Guard) scheduleRecovery(addr mem.Addr) {
+	if g.cfg.RecoverAfter <= 0 || g.recovering || g.permanent {
+		return
+	}
+	if g.recoveries >= g.maxRecoveries() {
+		g.permanent = true
+		g.obsReg.Counter("guard.recovery.permanent").Inc()
+		g.obsReg.Counter("guard.recovery.permanent" + g.metricSuffix()).Inc()
+		g.recoveryEvent(addr, fmt.Sprintf("permanent quarantine after %d recoveries", g.recoveries))
+		return
+	}
+	delay := g.recoverDelay()
+	g.recovering = true
+	g.obsReg.Counter("guard.recovery.backoff").Inc()
+	g.obsReg.Counter("guard.recovery.backoff" + g.metricSuffix()).Inc()
+	g.recoveryEvent(addr, fmt.Sprintf("recovery %d/%d scheduled, backoff %d ticks",
+		g.recoveries+1, g.maxRecoveries(), uint64(delay)))
+	g.eng.Schedule(delay, g.recoveryDrainWait)
+}
+
+// recoveryDrainWait polls until every in-flight transaction has settled:
+// open accelerator transactions close as their host halves complete
+// (granted/putDone run their quarantine paths), open recalls were
+// resolved by the fence, and the shim's own host transactions must
+// retire before the table flush — otherwise a straggling grant could
+// repopulate the table after the flush walked it.
+func (g *Guard) recoveryDrainWait() {
+	if g.openTxns() > 0 || g.openRecalls() > 0 || g.shim.outstanding() > 0 {
+		g.eng.Schedule(recoveryPoll, g.recoveryDrainWait)
+		return
+	}
+	g.recoveryDrainTable()
+}
+
+// recoveryDrainTable returns every line the host still believes this
+// guard holds. Owned lines (host view E/M) must carry data back: the
+// trusted copy when Full State kept one, else the zero-block Guarantee
+// 2c substitution (the fenced accelerator cannot be asked). Shared lines
+// need only an eviction notice, and only on hosts that track sharers.
+// Lines are walked in global address order so the drain's message
+// sequence is deterministic and shard-count independent.
+func (g *Guard) recoveryDrainTable() {
+	var addrs []mem.Addr
+	for i := range g.shards {
+		if t := g.shards[i].table; t != nil {
+			for a := range t.blocks {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && addrs[j] < addrs[j-1]; j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+		}
+	}
+	for _, a := range addrs {
+		sh := g.shard(a)
+		e := sh.table.lookup(a)
+		if e.host == GrantS {
+			if !g.shim.suppressPutS() {
+				g.shim.putS(a)
+			}
+		} else {
+			data, dirty := mem.Zero(), true
+			if e.copy != nil {
+				data, dirty = e.copy.Copy(), e.dirty
+			}
+			g.shim.drain(a, data, dirty)
+		}
+		sh.table.drop(a)
+	}
+	g.obsReg.Counter("guard.recovery.drained_lines").Add(uint64(len(addrs)))
+	g.obsReg.Counter("guard.recovery.drained_lines" + g.metricSuffix()).Add(uint64(len(addrs)))
+	g.recoveryEvent(0, fmt.Sprintf("drain flushed %d lines", len(addrs)))
+	g.recoveryResetWait()
+}
+
+// recoveryResetWait polls until the drain writebacks have retired, then
+// resets and reintegrates the device.
+func (g *Guard) recoveryResetWait() {
+	if g.shim.outstanding() > 0 {
+		g.eng.Schedule(recoveryPoll, g.recoveryResetWait)
+		return
+	}
+	g.reintegrate()
+}
+
+// reintegrate is the reset + readmission step: the guard epoch is
+// bumped, the device hierarchy is reinitialized to Invalid under the new
+// epoch through the reset hook, and the guard reopens conservatively —
+// empty block table, no trusted copies claimed, zero error score. Any
+// pre-reset straggler still in the fabric carries the old epoch and is
+// dropped as XG.StaleEpoch on arrival.
+func (g *Guard) reintegrate() {
+	g.epoch++
+	g.recoveries++
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.txns = make(map[mem.Addr]*accelTxn)
+		sh.hosts = make(map[mem.Addr]*hostTxn)
+		sh.ignoreInvAck = make(map[mem.Addr]int)
+		if g.cfg.Mode == FullState {
+			sh.table = newBlockTable()
+		}
+	}
+	g.pending = g.pending[:0]
+	if g.resetHook != nil {
+		g.resetHook(g.epoch)
+	}
+	g.Quarantined = false
+	g.errors = 0
+	g.recovering = false
+	g.obsReg.Counter("guard.recovery.reintegrated").Inc()
+	g.obsReg.Counter("guard.recovery.reintegrated" + g.metricSuffix()).Inc()
+	g.recoveryEvent(0, fmt.Sprintf("device reset, reintegrated under epoch %d (recovery %d/%d)",
+		g.epoch, g.recoveries, g.maxRecoveries()))
+}

@@ -1,0 +1,40 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/sim"
+)
+
+// TestRecoveryVsNeighborSweep sweeps the offset between the hostile
+// burst that starts device 1's quarantine-recovery cycle and device 0's
+// ownership migration, for every guard organization on both hosts. Each
+// grid point must end with the hostile guard reintegrated under a fresh
+// epoch, served again, and the neighbor's migration byte-correct — the
+// explore-level statement of blast-radius containment.
+func TestRecoveryVsNeighborSweep(t *testing.T) {
+	maxOff := 60
+	if testing.Short() {
+		maxOff = 20
+	}
+	orgs := []config.Org{config.OrgXGFull1L, config.OrgXGTxn1L, config.OrgXGFull2L, config.OrgXGTxn2L}
+	for _, host := range []config.HostKind{config.HostHammer, config.HostMESI} {
+		for _, org := range orgs {
+			host, org := host, org
+			t.Run(fmt.Sprintf("%v/%v", host, org), func(t *testing.T) {
+				spec := config.Spec{Host: host, Org: org, CPUs: 2, AccelCores: 1,
+					Seed: 37, Small: true}
+				res := Sweep(spec, RecoveryScenario(), sim.Time(maxOff))
+				if len(res.Failures) > 0 {
+					t.Fatalf("%d/%d points failed; first: %s",
+						len(res.Failures), res.Points, res.Failures[0])
+				}
+				if res.Points != maxOff+1 {
+					t.Fatalf("swept %d points, want %d", res.Points, maxOff+1)
+				}
+			})
+		}
+	}
+}

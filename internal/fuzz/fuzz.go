@@ -45,6 +45,12 @@ type Attacker struct {
 
 	// Policy for host-initiated Invalidates.
 	Policy InvPolicy
+	// Epoch is stamped on every injected message. It starts at zero (the
+	// pre-recovery guard epoch, so historical attack traffic is
+	// unchanged); scripted recovery scenarios bump it from a device-reset
+	// hook so the attacker rejoins the guard after reintegration instead
+	// of having everything it sends dropped as a stale straggler.
+	Epoch uint32
 	// IncludeHostTypes also injects raw host-protocol message types,
 	// probing the guard's interface boundary.
 	IncludeHostTypes bool
@@ -106,7 +112,7 @@ func (a *Attacker) answerInv(m *coherence.Msg) {
 func (a *Attacker) send(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool) {
 	a.Sent++
 	a.Fab.Send(&coherence.Msg{Type: ty, Addr: addr, Src: a.ID_, Dst: a.XG,
-		Data: data, Dirty: dirty})
+		Data: data, Dirty: dirty, Epoch: a.Epoch})
 }
 
 // Send exposes raw injection for the scripted guarantee tests.

@@ -36,12 +36,17 @@ const (
 	// KindQuarantine is the guard fencing its accelerator after repeated
 	// guarantee violations (graceful-degradation mode).
 	KindQuarantine
+	// KindRecovery is a step of the quarantine-recovery protocol: backoff
+	// scheduling, drain completion, device reset/reintegration under a
+	// bumped epoch, or conversion to permanent quarantine. The payload
+	// names the step.
+	KindRecovery
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{"send", "recv", "drop", "violation", "grant", "timeout",
-	"fault", "retry", "quarantine"}
+	"fault", "retry", "quarantine", "recovery"}
 
 // String returns the JSON wire name of the kind (e.g. "send").
 func (k Kind) String() string {
@@ -187,6 +192,12 @@ func msgDetail(m *coherence.Msg) string {
 			s += " "
 		}
 		s += "shared"
+	}
+	if m.Epoch != 0 {
+		if s != "" {
+			s += " "
+		}
+		s += "epoch=" + strconv.Itoa(int(m.Epoch))
 	}
 	return s
 }

@@ -41,6 +41,9 @@ type Sequencer struct {
 	perLine  map[mem.Addr]*Op // at most one op outstanding per line
 	lineQ    map[mem.Addr][]*Op
 	issueQ   []*Op // waiting on MaxOutstanding
+	// aborted remembers tags discarded by Abort whose completions may
+	// still arrive from the cache; such completions are dropped silently.
+	aborted map[uint64]bool
 
 	// MaxOutstanding bounds concurrently issued operations (0 = 1).
 	MaxOutstanding int
@@ -50,6 +53,7 @@ type Sequencer struct {
 	TotalLatency   sim.Time
 	MaxLatency     sim.Time
 	Completed      uint64
+	Aborted        uint64
 	latencySamples []sim.Time
 
 	// OnQuiesce, when non-nil, fires whenever the sequencer goes from
@@ -70,6 +74,7 @@ func New(id coherence.NodeID, name string, eng *sim.Engine, fab *network.Fabric,
 		inflight:       make(map[uint64]*Op),
 		perLine:        make(map[mem.Addr]*Op),
 		lineQ:          make(map[mem.Addr][]*Op),
+		aborted:        make(map[uint64]bool),
 		MaxOutstanding: 16,
 	}
 	fab.Register(s)
@@ -142,6 +147,26 @@ func (s *Sequencer) tryIssue(op *Op) {
 	})
 }
 
+// Abort drops every in-flight and queued operation without completing
+// it: no callbacks, no latency samples, no consistency records (the
+// device-reset step of quarantine recovery — the operations' fate is
+// undefined and must not enter the observed history). Completions for
+// aborted tags that are still in flight from the cache are tolerated and
+// dropped. Aborted counts the operations discarded.
+func (s *Sequencer) Abort() {
+	s.Aborted += uint64(s.Outstanding())
+	for tag := range s.inflight {
+		s.aborted[tag] = true
+	}
+	s.inflight = make(map[uint64]*Op)
+	s.perLine = make(map[mem.Addr]*Op)
+	s.lineQ = make(map[mem.Addr][]*Op)
+	s.issueQ = nil
+	if s.OnQuiesce != nil {
+		s.OnQuiesce()
+	}
+}
+
 // Recv handles completion messages from the cache.
 func (s *Sequencer) Recv(m *coherence.Msg) {
 	switch m.Type {
@@ -151,6 +176,10 @@ func (s *Sequencer) Recv(m *coherence.Msg) {
 	}
 	op, ok := s.inflight[m.Tag]
 	if !ok {
+		if s.aborted[m.Tag] {
+			delete(s.aborted, m.Tag)
+			return
+		}
 		panic(fmt.Sprintf("%s: completion for unknown tag %d (%v)", s.name, m.Tag, m))
 	}
 	delete(s.inflight, m.Tag)
