@@ -11,7 +11,9 @@
 //	           [-budget 30s] [-stores N] [-messages N] [-cpus N] [-cores N]
 //	           [-accels N] [-shards N]
 //	           [-checked] [-consistency] [-coverage=false]
+//	           [-spans] [-tracetail N] [-http :8080] [-heartbeat 5s]
 //	           [-metrics out.json] [-trace out.jsonl] [-obs out.obs]
+//	           [-perfetto out.json]
 //	xgcampaign -repro 'kind=stress host=hammer org=xg-full/1L seed=3 ...'
 //	xgcampaign -shrink 'kind=chaos host=hammer org=xg-full/1L seed=1 ...'
 //
@@ -50,6 +52,18 @@
 // multi runs the dedicated accel-count sweep (org x accel count x fault
 // preset) and ignores -accels.
 //
+// -spans turns on causal span tracing in every guard (per-crossing
+// span-begin/-phase/-end events plus per-phase latency histograms,
+// rendered by cmd/xgreport); -perfetto exports the traced shards as a
+// Chrome-trace-event/Perfetto timeline (implies -spans and tracing) that
+// loads in https://ui.perfetto.dev. -tracetail sets how many events each
+// shard's trace ring keeps; failure artifacts record the size. -http
+// serves live campaign telemetry while running: /metrics returns a JSON
+// snapshot (progress counters plus completion-order merged metrics) and
+// net/http/pprof is mounted for profiling; -heartbeat emits one JSONL
+// progress line to stderr per interval. Both are advisory wall-clock
+// views; the final report stays deterministic.
+//
 // Exit codes (documented in README.md): 0 all shards passed, 1 at least
 // one guarantee violation / hang / crash / corruption, 2 usage error,
 // 3 all shards passed but at least one guard quarantined its accelerator.
@@ -58,12 +72,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -http mounts the profiling endpoints
 	"os"
 	"sort"
 	"text/tabwriter"
 	"time"
 
 	"crossingguard/internal/campaign"
+	"crossingguard/internal/config"
 )
 
 var (
@@ -86,6 +103,11 @@ var (
 	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file (render with cmd/xgreport)")
 	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
 	obsOut   = flag.String("obs", "", "write the recorded observation log (xgobs v1) to this file; needs -consistency")
+	spans    = flag.Bool("spans", false, "enable causal span tracing in every guard (span events + per-phase latency histograms)")
+	perfetto = flag.String("perfetto", "", "write a Chrome-trace-event/Perfetto timeline JSON to this file (implies -spans and tracing)")
+	traceTl  = flag.Int("tracetail", campaign.DefaultTraceTail, "events kept per shard trace ring (recorded in failure artifacts)")
+	httpAddr = flag.String("http", "", "serve live telemetry on this address (/metrics JSON + net/http/pprof) while the campaign runs")
+	heartbt  = flag.Duration("heartbeat", 0, "emit one JSONL progress snapshot to stderr per interval while running")
 )
 
 func main() {
@@ -142,8 +164,27 @@ func main() {
 			base[i].Consistency = true
 		}
 	}
+	if *spans || *perfetto != "" {
+		for i := range base {
+			base[i].Spans = true
+		}
+	}
 
-	opt := campaign.Options{Workers: *workers, Progress: os.Stderr, Trace: *trace != ""}
+	opt := campaign.Options{Workers: *workers, Progress: os.Stderr,
+		Trace: *trace != "" || *perfetto != "", TraceTail: *traceTl}
+	if *httpAddr != "" || *heartbt > 0 {
+		opt.Telemetry = campaign.NewTelemetry()
+		opt.Heartbeat = *heartbt
+		opt.HeartbeatW = os.Stderr
+	}
+	if *httpAddr != "" {
+		http.Handle("/metrics", opt.Telemetry)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "xgcampaign: -http:", err)
+			}
+		}()
+	}
 	var rep *campaign.Report
 	if *budget > 0 {
 		opt.Budget = *budget
@@ -160,6 +201,10 @@ func main() {
 	}
 
 	if err := rep.ExportFiles(*metrics, *trace, *obsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
+		os.Exit(campaign.ExitViolation)
+	}
+	if err := rep.ExportPerfetto(*perfetto, config.TrackOf); err != nil {
 		fmt.Fprintln(os.Stderr, "xgcampaign:", err)
 		os.Exit(campaign.ExitViolation)
 	}
@@ -252,6 +297,9 @@ func printReport(rep *campaign.Report) {
 	for _, a := range rep.Artifacts {
 		fmt.Printf("\nFAILED shard %d (%s seed %d): %s\n  repro: %s\n",
 			a.Spec.Index, a.Spec.Name(), a.Spec.Seed, a.Err, a.Repro)
+		if a.TraceTail > 0 {
+			fmt.Printf("  trace tail: last %d events captured (-tracetail)\n", a.TraceTail)
+		}
 	}
 }
 
@@ -285,7 +333,7 @@ func runRepro(spec string) int {
 	}
 	fmt.Printf("re-running shard: %s\n", campaign.FormatSpec(s))
 	start := time.Now()
-	res := campaign.RunShard(s, true)
+	res := campaign.RunShardTrace(s, true, *traceTl)
 	fmt.Printf("stores=%d loads=%d checked=%d sent=%d faults=%d violations=%d recoveries=%d simtime=%d wall=%v\n",
 		res.Res.Stores, res.Res.Loads, res.Res.LoadChecks, res.Sent, res.Injected, res.Violations,
 		res.Recoveries, res.Res.EndTime, time.Since(start).Round(time.Millisecond))
@@ -299,7 +347,7 @@ func runRepro(spec string) int {
 	}
 	fmt.Printf("FAIL (reproduced): %v\n", res.Err)
 	if res.TraceDump != "" {
-		fmt.Println("\n--- network trace tail ---")
+		fmt.Printf("\n--- network trace tail (last %d events) ---\n", res.TraceTail)
 		fmt.Print(res.TraceDump)
 	}
 	if res.ObsDump != "" {

@@ -13,13 +13,16 @@
 // Usage:
 //
 //	xgfuzz [-seeds N] [-messages N] [-cpus N] [-workers N] [-consistency]
-//	       [-metrics out.json] [-trace out.jsonl] [-obs out.obs]
+//	       [-spans] [-tracetail N] [-metrics out.json] [-trace out.jsonl]
+//	       [-obs out.obs] [-perfetto out.json]
 //
 // -consistency records per-core observations on every shard and runs
 // the offline invariant checker over confined/checked variants (an
 // unconfined attacker may legitimately corrupt shared data, so only
 // liveness is asserted there); -obs exports the observation log for
-// cmd/xgcheck.
+// cmd/xgcheck. -spans turns on causal span tracing in every guard;
+// -perfetto exports the traced shards as a Chrome-trace-event/Perfetto
+// timeline (implies -spans and tracing).
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"text/tabwriter"
 
 	"crossingguard/internal/campaign"
+	"crossingguard/internal/config"
 )
 
 var (
@@ -41,6 +45,9 @@ var (
 	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file (render with cmd/xgreport)")
 	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
 	obsOut   = flag.String("obs", "", "write the recorded observation log (xgobs v1) to this file; needs -consistency")
+	spans    = flag.Bool("spans", false, "enable causal span tracing in every guard (span events + per-phase latency histograms)")
+	perfetto = flag.String("perfetto", "", "write a Chrome-trace-event/Perfetto timeline JSON to this file (implies -spans and tracing)")
+	traceTl  = flag.Int("tracetail", campaign.DefaultTraceTail, "per-shard trace-ring capacity (events kept per shard); size generously when a complete span trace is needed")
 )
 
 func main() {
@@ -51,8 +58,18 @@ func main() {
 			specs[i].Consistency = true
 		}
 	}
-	rep := campaign.Run(specs, campaign.Options{Workers: *workers, Trace: *trace != ""})
+	if *spans || *perfetto != "" {
+		for i := range specs {
+			specs[i].Spans = true
+		}
+	}
+	rep := campaign.Run(specs, campaign.Options{Workers: *workers,
+		Trace: *trace != "" || *perfetto != "", TraceTail: *traceTl})
 	if err := rep.ExportFiles(*metrics, *trace, *obsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "xgfuzz:", err)
+		os.Exit(campaign.ExitViolation)
+	}
+	if err := rep.ExportPerfetto(*perfetto, config.TrackOf); err != nil {
 		fmt.Fprintln(os.Stderr, "xgfuzz:", err)
 		os.Exit(campaign.ExitViolation)
 	}

@@ -92,6 +92,7 @@ func render(w io.Writer, s obs.Snapshot) {
 	renderRobustness(w, s)
 	renderRecovery(w, s)
 	renderCrossings(w, s)
+	renderAnatomy(w, s)
 	renderStates(w, s)
 	renderNetwork(w, s)
 }
@@ -353,6 +354,83 @@ func renderCrossings(w io.Writer, s obs.Snapshot) {
 			r.label, h.N, h.Mean, h.P50, h.P95, h.P99, h.Min, h.Max)
 	}
 	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// anatomyRows are the per-phase crossing-span histograms, in causal
+// order: the request's queue wait, the guarantee check, the grant path,
+// recall round-trips with their watchdog-retry tails, then the recovery
+// state machine. Guards record them only under span tracing
+// (-spans / -perfetto), so the section is absent from span-free runs.
+var anatomyRows = []struct{ key, label string }{
+	{"xg.span.request.ticks", "request wait (arrival -> check start)"},
+	{"xg.span.check.ticks", "guarantee check (check start -> host forward)"},
+	{"xg.span.grant.ticks", "grant path (host forward -> grant sent)"},
+	{"xg.span.recall.ticks", "recall round-trip (recall sent -> resolved)"},
+	{"xg.span.retry.ticks", "recall retry tail (watchdog re-send -> resolved)"},
+	{"xg.span.recovery.backoff.ticks", "recovery backoff (quarantine -> drain start)"},
+	{"xg.span.recovery.drain.ticks", "recovery drain (in-flight settle + table flush)"},
+	{"xg.span.recovery.reset.ticks", "recovery reset (drain done -> reintegrated)"},
+	{"xg.span.recovery.total.ticks", "recovery total (quarantine -> reintegrated)"},
+}
+
+// renderAnatomy prints the crossing latency anatomy: deterministic
+// per-phase quantiles answering "where did this crossing's ticks go?",
+// in aggregate and (for multi-device runs) per accelerator. The
+// quantiles come from merged histogram samples, so the table is
+// byte-identical across -workers values.
+func renderAnatomy(w io.Writer, s obs.Snapshot) {
+	any := false
+	for _, r := range anatomyRows {
+		if h, ok := s.Histograms[r.key]; ok && h.N > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w, "crossing latency anatomy (per-phase span quantiles, ticks)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  phase\tn\tp50\tp90\tp99\tmax")
+	for _, r := range anatomyRows {
+		h, ok := s.Histograms[r.key]
+		if !ok || h.N == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%.0f\t%.1f\t%.1f\t%.0f\n",
+			r.label, h.N, h.P50, h.P90, h.P99, h.Max)
+	}
+	tw.Flush()
+
+	// Per-device rows from the @a<N> histogram variants; rendered only
+	// for multi-device runs (a single device's rows equal the aggregate).
+	devs := map[string]bool{}
+	for name, h := range s.Histograms {
+		if base, tag, ok := accelTagOf(name); ok && h.N > 0 &&
+			strings.HasPrefix(base, "xg.span.") {
+			devs[tag] = true
+		}
+	}
+	if len(devs) >= 2 {
+		tags := make([]string, 0, len(devs))
+		for tag := range devs {
+			tags = append(tags, tag)
+		}
+		sort.Strings(tags)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  accel\tphase\tn\tp50\tp90\tp99\tmax")
+		for _, tag := range tags {
+			for _, r := range anatomyRows {
+				h, ok := s.Histograms[r.key+"@a"+tag]
+				if !ok || h.N == 0 {
+					continue
+				}
+				fmt.Fprintf(tw, "  a%s\t%s\t%d\t%.0f\t%.1f\t%.1f\t%.0f\n",
+					tag, r.label, h.N, h.P50, h.P90, h.P99, h.Max)
+			}
+		}
+		tw.Flush()
+	}
 	fmt.Fprintln(w)
 }
 

@@ -12,7 +12,8 @@
 // Usage:
 //
 //	xgstress [-seeds N] [-stores N] [-cpus N] [-cores N] [-workers N] [-coverage]
-//	         [-consistency] [-metrics out.json] [-trace out.jsonl] [-obs out.obs]
+//	         [-consistency] [-spans] [-tracetail N] [-metrics out.json]
+//	         [-trace out.jsonl] [-obs out.obs] [-perfetto out.json]
 //
 // -metrics exports the merged metrics registry (guard guarantee
 // outcomes, host state transitions, network occupancy, crossing
@@ -21,8 +22,11 @@
 // every core's completed loads and stores and runs the offline
 // invariant checker (SWMR, data-value, write-serialization) over each
 // shard's history; -obs exports the recorded observation log for
-// cmd/xgcheck. All files are byte-identical for a fixed flag set
-// regardless of -workers.
+// cmd/xgcheck. -spans turns on causal span tracing in every guard
+// (per-crossing phase histograms in the metrics export); -perfetto
+// exports the traced shards as a Chrome-trace-event/Perfetto timeline
+// (implies -spans and tracing). All files are byte-identical for a fixed
+// flag set regardless of -workers.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"text/tabwriter"
 
 	"crossingguard/internal/campaign"
+	"crossingguard/internal/config"
 )
 
 var (
@@ -45,6 +50,9 @@ var (
 	metrics  = flag.String("metrics", "", "write merged metrics JSON to this file")
 	trace    = flag.String("trace", "", "write merged trace JSONL to this file")
 	obsOut   = flag.String("obs", "", "write the recorded observation log (xgobs v1) to this file; needs -consistency")
+	spans    = flag.Bool("spans", false, "enable causal span tracing in every guard (span events + per-phase latency histograms)")
+	perfetto = flag.String("perfetto", "", "write a Chrome-trace-event/Perfetto timeline JSON to this file (implies -spans and tracing)")
+	traceTl  = flag.Int("tracetail", campaign.DefaultTraceTail, "per-shard trace-ring capacity (events kept per shard); size generously when a complete span trace is needed")
 )
 
 func main() {
@@ -55,8 +63,18 @@ func main() {
 			specs[i].Consistency = true
 		}
 	}
-	rep := campaign.Run(specs, campaign.Options{Workers: *workers, Trace: *trace != ""})
+	if *spans || *perfetto != "" {
+		for i := range specs {
+			specs[i].Spans = true
+		}
+	}
+	rep := campaign.Run(specs, campaign.Options{Workers: *workers,
+		Trace: *trace != "" || *perfetto != "", TraceTail: *traceTl})
 	if err := rep.ExportFiles(*metrics, *trace, *obsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "xgstress:", err)
+		os.Exit(campaign.ExitViolation)
+	}
+	if err := rep.ExportPerfetto(*perfetto, config.TrackOf); err != nil {
 		fmt.Fprintln(os.Stderr, "xgstress:", err)
 		os.Exit(campaign.ExitViolation)
 	}

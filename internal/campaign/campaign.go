@@ -44,11 +44,24 @@ type Options struct {
 	// failing shards additionally carry a rendered trace tail in their
 	// artifact (the -repro path).
 	Trace bool
+	// TraceTail sets the per-shard trace-ring capacity (the -tracetail
+	// flag); 0 means DefaultTraceTail. The chosen size is recorded in
+	// every failure artifact.
+	TraceTail int
 	// Progress, when non-nil, receives interim throughput lines
 	// (shards/sec, stores/sec, cumulative coverage) while running.
 	Progress io.Writer
 	// ProgressEvery is the interval between progress lines (default 1s).
 	ProgressEvery time.Duration
+	// Telemetry, when non-nil, is updated after every shard completion —
+	// the live (advisory, completion-order) view served by xgcampaign
+	// -http. The deterministic report is unaffected.
+	Telemetry *Telemetry
+	// Heartbeat, when nonzero, emits one JSONL progress snapshot to
+	// HeartbeatW every interval (xgcampaign -heartbeat).
+	Heartbeat time.Duration
+	// HeartbeatW receives heartbeat lines (default os.Stderr).
+	HeartbeatW io.Writer
 }
 
 func (o Options) workers() int {
@@ -70,6 +83,9 @@ type Artifact struct {
 	// ObsDump is the observation tail, when the shard recorded
 	// consistency observations.
 	ObsDump string
+	// TraceTail is the trace-ring capacity the shard ran with, recorded
+	// so the artifact header states how much history TraceDump can hold.
+	TraceTail int
 }
 
 // Report is the deterministic aggregate of a campaign.
@@ -172,6 +188,43 @@ func (r *Report) WriteTrace(w io.Writer) error {
 		}
 	}
 	return j.Flush()
+}
+
+// WritePerfetto exports every traced shard's events as one
+// Chrome-trace-event/Perfetto JSON timeline (the -perfetto flag;
+// requires Options.Trace): one process per shard, host and per-device
+// guard tracks, nested span/phase slices, causal flow arrows, and
+// instant markers. trackOf maps node ids onto tracks (config.TrackOf);
+// nil anchors all flows on the host track. Output is byte-identical for
+// a fixed shard set regardless of worker count.
+func (r *Report) WritePerfetto(w io.Writer, trackOf func(coherence.NodeID) int) error {
+	shards := make([]obs.ShardTrace, 0, len(r.Shards))
+	for i := range r.Shards {
+		s := &r.Shards[i]
+		shards = append(shards, obs.ShardTrace{
+			Index: s.Spec.Index,
+			Label: fmt.Sprintf("%v %s seed %d", s.Spec.Kind, s.Spec.Name(), s.Spec.Seed),
+			Events: s.Events,
+		})
+	}
+	return obs.WritePerfetto(w, shards, obs.PerfettoOptions{TrackOf: trackOf})
+}
+
+// ExportPerfetto writes the Perfetto timeline export to path (empty =
+// skip), the file-level twin of ExportFiles for the -perfetto flag.
+func (r *Report) ExportPerfetto(path string, trackOf func(coherence.NodeID) int) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("campaign: writing perfetto trace: %w", err)
+	}
+	if err := r.WritePerfetto(f, trackOf); err != nil {
+		f.Close()
+		return fmt.Errorf("campaign: writing perfetto trace: %w", err)
+	}
+	return f.Close()
 }
 
 // WriteObs exports every recorded shard's observation stream as one
@@ -348,7 +401,9 @@ func run(gen func(int) (ShardSpec, bool), opt Options) *Report {
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
-				live.add(runShardSafe(spec, opt.Trace))
+				res := runShardSafe(spec, opt.Trace, opt.TraceTail)
+				live.add(res)
+				opt.Telemetry.observe(&res)
 			}
 		}()
 	}
@@ -360,6 +415,18 @@ func run(gen func(int) (ShardSpec, bool), opt Options) *Report {
 			every = time.Second
 		}
 		go reportProgress(opt.Progress, live, start, every, stopProgress)
+	}
+	var hbDone chan struct{}
+	if opt.Heartbeat > 0 && opt.Telemetry != nil {
+		hw := opt.HeartbeatW
+		if hw == nil {
+			hw = os.Stderr
+		}
+		hbDone = make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			heartbeat(hw, opt.Telemetry, opt.Heartbeat, stopProgress)
+		}()
 	}
 
 	for i := 0; ; i++ {
@@ -373,6 +440,11 @@ func run(gen func(int) (ShardSpec, bool), opt Options) *Report {
 	close(jobs)
 	wg.Wait()
 	close(stopProgress)
+	if hbDone != nil {
+		// Wait for the final heartbeat line so the writer is never touched
+		// after run returns.
+		<-hbDone
+	}
 
 	return aggregate(live.results, time.Since(start), workers)
 }
@@ -437,6 +509,7 @@ func aggregate(results []ShardResult, elapsed time.Duration, workers int) *Repor
 				Repro:     s.Spec.ReproCommand(),
 				TraceDump: s.TraceDump,
 				ObsDump:   s.ObsDump,
+				TraceTail: s.TraceTail,
 			})
 		}
 	}
@@ -446,12 +519,12 @@ func aggregate(results []ShardResult, elapsed time.Duration, workers int) *Repor
 // runShardSafe converts a shard panic into a captured failure instead of
 // killing the whole pool: the fuzzer's promise is "never crashes", so a
 // panic IS a finding, not an excuse to lose the campaign.
-func runShardSafe(spec ShardSpec, trace bool) (res ShardResult) {
+func runShardSafe(spec ShardSpec, trace bool, tail int) (res ShardResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Spec = spec
 			res.Err = fmt.Errorf("PANIC: %v", r)
 		}
 	}()
-	return RunShard(spec, trace)
+	return RunShardTrace(spec, trace, tail)
 }

@@ -129,6 +129,46 @@ func TestTraceGolden(t *testing.T) {
 	}
 }
 
+// TestTraceGoldenSpans pins the span-enabled trace stream of the same
+// fixed-seed shard: span-begin/span-phase/span-end emission order is
+// part of the trace contract once Spans is on. The span-free golden
+// above is unaffected — Spans defaults off, so existing traces stay
+// byte-identical (the BatchGrants pattern).
+func TestTraceGoldenSpans(t *testing.T) {
+	spec := ShardSpec{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull1L,
+		Seed: 7, CPUs: 1, Cores: 1, Stores: 2, Spans: true}
+	rep := Run([]ShardSpec{spec}, Options{Workers: 1, Trace: true})
+	if rep.Failures() != 0 {
+		t.Fatalf("golden shard failed: %+v", rep.Artifacts)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"kind":"span-begin"`)) {
+		t.Fatal("span-enabled golden shard emitted no span events")
+	}
+	got := goldenSummary(buf.Bytes())
+
+	path := filepath.Join("testdata", "trace_spans.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("span trace stream drifted from golden (regenerate deliberately with -update):\n got: %s\nwant: %s",
+			tail(got), tail(string(want)))
+	}
+}
+
 func tail(s string) string {
 	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
 	return lines[len(lines)-1]

@@ -88,6 +88,12 @@ type ShardSpec struct {
 	// "buggy accelerator under stress" demonstration.
 	CheckValues bool
 
+	// Spans enables causal span tracing on every guard (span-begin/
+	// -phase/-end trace events plus per-phase latency histograms in the
+	// shard's metrics registry). Only meaningful with tracing or metrics
+	// export; default-off so span-free shards stay byte-identical.
+	Spans bool
+
 	// Consistency enables per-core observation recording plus the
 	// offline invariant check after the run. The check is applied only
 	// where inline value verification would be on too (stress always;
@@ -166,6 +172,10 @@ type ShardResult struct {
 	// captured when tracing was enabled; the aggregator renders them as
 	// JSONL in shard-index order.
 	Events []obs.Event
+	// TraceTail is the trace-ring capacity the shard ran with (0 when
+	// tracing was off); failure artifacts record it so a truncated trace
+	// tail is never mistaken for the full event stream.
+	TraceTail int
 	// Recs is the merged observation stream (Spec.Consistency shards
 	// only), in canonical order; the aggregator exports it via the -obs
 	// flag in shard-index order.
@@ -194,14 +204,32 @@ func fuzzPool(base mem.Addr) []mem.Addr {
 	return pool
 }
 
-// RunShard executes one shard to completion on the calling goroutine.
-// The shard builds a private machine (engine, fabric, RNGs, memory,
-// permission table) and never touches state outside it.
+// DefaultTraceTail is the trace-ring capacity (events kept per shard)
+// when the caller does not override it (Options.TraceTail, -tracetail).
+const DefaultTraceTail = 4000
+
+// RunShard executes one shard to completion on the calling goroutine
+// with the default trace-ring capacity. The shard builds a private
+// machine (engine, fabric, RNGs, memory, permission table) and never
+// touches state outside it.
 func RunShard(spec ShardSpec, trace bool) ShardResult {
+	return RunShardTrace(spec, trace, DefaultTraceTail)
+}
+
+// RunShardTrace is RunShard with an explicit trace-ring capacity: when
+// tracing, the shard keeps its last tail events (DefaultTraceTail when
+// tail is not positive).
+func RunShardTrace(spec ShardSpec, trace bool, tail int) ShardResult {
 	res := ShardResult{
 		Spec:   spec,
 		ByCode: map[string]uint64{},
 		Cov:    map[string]*coherence.Coverage{},
+	}
+	if tail <= 0 {
+		tail = DefaultTraceTail
+	}
+	if trace {
+		res.TraceTail = tail
 	}
 	if spec.Custom != nil {
 		sys, cfg := spec.Custom(trace)
@@ -210,26 +238,26 @@ func RunShard(spec ShardSpec, trace bool) ShardResult {
 	}
 	switch spec.Kind {
 	case KindStress:
-		runStressShard(&res, trace)
+		runStressShard(&res, trace, tail)
 	case KindFuzz:
-		runFuzzShard(&res, trace)
+		runFuzzShard(&res, trace, tail)
 	case KindChaos:
-		runChaosShard(&res, trace)
+		runChaosShard(&res, trace, tail)
 	default:
 		res.Err = fmt.Errorf("campaign: unknown shard kind %d", spec.Kind)
 	}
 	return res
 }
 
-func runStressShard(res *ShardResult, trace bool) {
+func runStressShard(res *ShardResult, trace bool, tail int) {
 	spec := res.Spec
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
 		CPUs: spec.CPUs, AccelCores: spec.Cores, Accels: spec.Accels, Shards: spec.Shards,
-		Seed: spec.Seed * 97, Small: true,
+		Seed: spec.Seed * 97, Small: true, Spans: spec.Spans,
 		Consistency: newRecorder(spec)})
 	var ring *obs.Ring
 	if trace {
-		ring = obs.NewRing(4000)
+		ring = obs.NewRing(tail)
 		sys.Fab.Bus = obs.NewBus(ring)
 	}
 	cfg := tester.DefaultConfig(spec.Seed * 131)
@@ -285,7 +313,7 @@ func finishConsistency(res *ShardResult, rec *consistency.Recorder, checked bool
 	}
 }
 
-func runFuzzShard(res *ShardResult, trace bool) {
+func runFuzzShard(res *ShardResult, trace bool, tail int) {
 	spec := res.Spec
 	const base = mem.Addr(0x10000)
 	var perms *perm.Table
@@ -295,7 +323,7 @@ func runFuzzShard(res *ShardResult, trace bool) {
 	var atts []*fuzz.Attacker
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
 		CPUs: spec.CPUs, AccelCores: 1, Accels: spec.Accels, Shards: spec.Shards,
-		Seed: spec.Seed * 61, Small: true,
+		Seed: spec.Seed * 61, Small: true, Spans: spec.Spans,
 		Timeout: 5000, Perms: perms, Consistency: newRecorder(spec),
 		CustomAccel: func(s *config.System, accelID, xgID coherence.NodeID) func() int {
 			// One attacker per device. Device 0 keeps the historical seed
@@ -314,7 +342,7 @@ func runFuzzShard(res *ShardResult, trace bool) {
 		}})
 	var ring *obs.Ring
 	if trace {
-		ring = obs.NewRing(4000)
+		ring = obs.NewRing(tail)
 		sys.Fab.Bus = obs.NewBus(ring)
 	}
 	for _, att := range atts {
@@ -353,7 +381,7 @@ func runFuzzShard(res *ShardResult, trace bool) {
 // health is asserted exactly like fuzz shards; confined shards (deny-all
 // permissions) additionally keep load-value verification on, proving the
 // host never reads corrupted data.
-func runChaosShard(res *ShardResult, trace bool) {
+func runChaosShard(res *ShardResult, trace bool, tail int) {
 	spec := res.Spec
 	model, err := accel.ParseAdvModel(spec.Model)
 	if err != nil {
@@ -369,7 +397,7 @@ func runChaosShard(res *ShardResult, trace bool) {
 	var advs []*accel.Adversary
 	sys := config.Build(config.Spec{Host: spec.Host, Org: spec.Org,
 		CPUs: spec.CPUs, AccelCores: 1, Accels: spec.Accels, Shards: spec.Shards,
-		Seed: spec.Seed * 41, Small: true,
+		Seed: spec.Seed * 41, Small: true, Spans: spec.Spans,
 		Timeout: 2000, RecallRetries: 2, QuarantineAfter: 25,
 		RecoverAfter: spec.RecoverAfter, MaxRecoveries: spec.MaxRecoveries,
 		RecoverBackoff: spec.RecoverBackoff, RecoverBackoffCap: spec.RecoverBackoffCap,
@@ -398,7 +426,7 @@ func runChaosShard(res *ShardResult, trace bool) {
 		}})
 	var ring *obs.Ring
 	if trace {
-		ring = obs.NewRing(4000)
+		ring = obs.NewRing(tail)
 		sys.Fab.Bus = obs.NewBus(ring)
 	}
 	cfg := tester.DefaultConfig(spec.Seed * 47)
@@ -538,6 +566,11 @@ func FormatSpec(s ShardSpec) string {
 	if s.Consistency {
 		parts = append(parts, "consistency=1")
 	}
+	// Emitted only when set, so span-free repro strings render
+	// byte-identically to the pre-span grammar.
+	if s.Spans {
+		parts = append(parts, "spans=1")
+	}
 	return strings.Join(parts, " ")
 }
 
@@ -644,6 +677,8 @@ func ParseSpec(text string) (ShardSpec, error) {
 			spec.CheckValues = v == "1" || v == "true"
 		case "consistency":
 			spec.Consistency = v == "1" || v == "true"
+		case "spans":
+			spec.Spans = v == "1" || v == "true"
 		case "model":
 			if _, err := accel.ParseAdvModel(v); err != nil {
 				return spec, err

@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"crossingguard/internal/config"
+	"crossingguard/internal/obs"
+)
+
+// fullTail is a trace-ring size no test shard can overflow, so span
+// begins are never evicted and the balance invariant is checkable.
+const fullTail = 1 << 20
+
+// TestSpanBalanceAcrossStressShard: a traced stress shard with span
+// tracing on emits a balanced span stream — every crossing and recall
+// span that begins also ends.
+func TestSpanBalanceAcrossStressShard(t *testing.T) {
+	spec := ShardSpec{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull1L,
+		Seed: 7, CPUs: 2, Cores: 2, Stores: 10, Spans: true}
+	res := RunShardTrace(spec, true, fullTail)
+	if res.Err != nil {
+		t.Fatalf("stress shard failed: %v", res.Err)
+	}
+	if err := obs.SpanBalance(res.Events); err != nil {
+		t.Fatal(err)
+	}
+	begins := 0
+	for _, e := range res.Events {
+		if e.Kind == obs.KindSpanBegin {
+			begins++
+		}
+	}
+	if begins == 0 {
+		t.Fatal("span tracing enabled but no spans emitted")
+	}
+}
+
+// TestSpanBalanceAcrossRecoveryShard covers the hard balance paths the
+// satellite names: quarantine entry, the recovery state machine, and
+// the StaleEpoch drops around a device reset. A flapper cell from the
+// recovery sweep must still emit a perfectly balanced span stream, with
+// the recovery cycle itself traced begin to end.
+func TestSpanBalanceAcrossRecoveryShard(t *testing.T) {
+	base := RecoverySweep(1, 2, 600)
+	for _, idx := range []int{0, len(base) - 1} { // hammer/full-1L and mesi/txn-2L cells
+		spec := base[idx]
+		spec.Spans = true
+		res := RunShardTrace(spec, true, fullTail)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", FormatSpec(spec), res.Err)
+		}
+		if res.Recoveries < 1 {
+			t.Fatalf("%s: no reintegration; the recovery span paths were not exercised", FormatSpec(spec))
+		}
+		if err := obs.SpanBalance(res.Events); err != nil {
+			t.Fatalf("%s: %v", FormatSpec(spec), err)
+		}
+		recovery := false
+		for _, e := range res.Events {
+			if e.Kind == obs.KindSpanBegin && strings.HasPrefix(e.Payload, "recovery") {
+				recovery = true
+				break
+			}
+		}
+		if !recovery {
+			t.Fatalf("%s: reintegrated but no recovery span traced", FormatSpec(spec))
+		}
+	}
+}
+
+// TestSpansGrammarRoundTrip: spans=1 survives the repro grammar, and a
+// span-free spec renders without the key so historical repro lines stay
+// byte-identical.
+func TestSpansGrammarRoundTrip(t *testing.T) {
+	spec := ShardSpec{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull1L,
+		Seed: 3, CPUs: 1, Cores: 1, Stores: 5, Spans: true}
+	text := FormatSpec(spec)
+	if !strings.Contains(text, "spans=1") {
+		t.Fatalf("FormatSpec(%v) = %q missing spans=1", spec, text)
+	}
+	got, err := ParseSpec(text)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", text, err)
+	}
+	if !got.Spans {
+		t.Fatalf("round trip %q lost Spans", text)
+	}
+	if FormatSpec(got) != text {
+		t.Errorf("re-format drifted: %q vs %q", FormatSpec(got), text)
+	}
+	spec.Spans = false
+	if text := FormatSpec(spec); strings.Contains(text, "spans") {
+		t.Fatalf("FormatSpec(%v) = %q leaks spans key into a span-free spec", spec, text)
+	}
+}
+
+// TestTraceTailConfigurable: the artifact trace tail follows the
+// requested ring size, and the chosen size is recorded on the result so
+// failure artifacts can report it.
+func TestTraceTailConfigurable(t *testing.T) {
+	spec := ShardSpec{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull1L,
+		Seed: 7, CPUs: 1, Cores: 1, Stores: 5}
+	small := RunShardTrace(spec, true, 50)
+	if small.Err != nil {
+		t.Fatalf("shard failed: %v", small.Err)
+	}
+	if small.TraceTail != 50 {
+		t.Fatalf("TraceTail = %d, want 50", small.TraceTail)
+	}
+	if len(small.Events) > 50 {
+		t.Fatalf("captured %d events, ring was sized 50", len(small.Events))
+	}
+	// RunShard keeps the historical default.
+	def := RunShard(spec, true)
+	if def.TraceTail != DefaultTraceTail {
+		t.Fatalf("default TraceTail = %d, want %d", def.TraceTail, DefaultTraceTail)
+	}
+	if len(def.Events) <= len(small.Events) {
+		t.Fatalf("default ring (%d events) kept no more than the 50-event ring (%d)",
+			len(def.Events), len(small.Events))
+	}
+}

@@ -1,0 +1,150 @@
+package campaign
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"crossingguard/internal/obs"
+)
+
+// Telemetry is the live, advisory view of a running campaign: workers
+// fold each shard in as it completes, so the contents depend on
+// scheduling and wall-clock time and are deliberately NOT part of the
+// deterministic report (which is rebuilt in shard-index order after the
+// pool drains). It backs xgcampaign's -http metrics endpoint and
+// -heartbeat progress lines; reading it mid-run is always safe.
+type Telemetry struct {
+	mu          sync.Mutex
+	start       time.Time
+	shards      int
+	failures    int
+	quarantines int
+	recoveries  uint64
+	violations  uint64
+	stores      uint64
+	sent        uint64
+	ticks       uint64
+	reg         *obs.Registry
+}
+
+// NewTelemetry returns a telemetry view; pass it as Options.Telemetry
+// and serve it (it implements http.Handler) or snapshot it.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{start: time.Now(), reg: obs.NewRegistry()}
+}
+
+// observe folds one completed shard in. Nil-safe so the runner calls it
+// unconditionally.
+func (t *Telemetry) observe(res *ShardResult) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shards++
+	if res.Err != nil {
+		t.failures++
+	}
+	if res.Quarantined {
+		t.quarantines++
+	}
+	t.recoveries += res.Recoveries
+	t.violations += res.Violations
+	t.stores += res.Res.Stores
+	t.sent += res.Sent
+	t.ticks += uint64(res.Res.EndTime)
+	t.reg.Merge(res.Obs)
+}
+
+// TelemetrySnapshot is one point-in-time progress record: a -heartbeat
+// JSONL line, and the "progress" section of the -http payload.
+type TelemetrySnapshot struct {
+	// ElapsedSec is wall-clock seconds since the telemetry was created.
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Shards, Failures, and Quarantines count completed shards and their
+	// outcomes so far.
+	Shards      int `json:"shards"`
+	Failures    int `json:"failures"`
+	Quarantines int `json:"quarantines"`
+	// Recoveries and Violations total guard reintegrations and classified
+	// protocol violations across completed shards.
+	Recoveries uint64 `json:"recoveries"`
+	Violations uint64 `json:"violations"`
+	// Stores and Sent total tester stores and attack messages injected.
+	Stores uint64 `json:"stores"`
+	Sent   uint64 `json:"sent"`
+	// SimTicks sums the shards' simulated end times; TicksPerSec divides
+	// it by elapsed wall-clock time (simulation throughput).
+	SimTicks    uint64  `json:"sim_ticks"`
+	TicksPerSec float64 `json:"ticks_per_sec"`
+}
+
+// Snapshot returns the current progress counters.
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TelemetrySnapshot{
+		ElapsedSec:  time.Since(t.start).Seconds(),
+		Shards:      t.shards,
+		Failures:    t.failures,
+		Quarantines: t.quarantines,
+		Recoveries:  t.recoveries,
+		Violations:  t.violations,
+		Stores:      t.stores,
+		Sent:        t.sent,
+		SimTicks:    t.ticks,
+	}
+	if s.ElapsedSec > 0 {
+		s.TicksPerSec = float64(s.SimTicks) / s.ElapsedSec
+	}
+	return s
+}
+
+// TelemetryPayload is the full -http metrics document: live progress
+// plus the metrics registries of completed shards merged in completion
+// order (advisory; the deterministic merge is the final report's).
+type TelemetryPayload struct {
+	// Progress is the current counter snapshot.
+	Progress TelemetrySnapshot `json:"progress"`
+	// Metrics is the completion-order merged registry snapshot.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// Payload captures the progress counters and merged metrics together.
+func (t *Telemetry) Payload() TelemetryPayload {
+	p := TelemetryPayload{Progress: t.Snapshot()}
+	t.mu.Lock()
+	p.Metrics = t.reg.Snapshot()
+	t.mu.Unlock()
+	return p
+}
+
+// ServeHTTP implements http.Handler, serving the payload as indented
+// JSON — the body behind xgcampaign -http's /metrics endpoint.
+func (t *Telemetry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(t.Payload()) //nolint:errcheck // a dropped client is not our error
+}
+
+// heartbeat writes one JSON snapshot line per interval until stop
+// closes, then a final line so even sub-interval campaigns record their
+// end state. The runner waits for it, so the writer outlives the lines.
+func heartbeat(w io.Writer, t *Telemetry, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-stop:
+			enc.Encode(t.Snapshot()) //nolint:errcheck // best-effort progress line
+			return
+		case <-tick.C:
+			enc.Encode(t.Snapshot()) //nolint:errcheck // best-effort progress line
+		}
+	}
+}

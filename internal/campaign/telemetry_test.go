@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"crossingguard/internal/config"
+)
+
+// TestTelemetryObservesCampaign: a campaign run with a telemetry view
+// attached folds every completed shard in, and the -http payload is
+// well-formed JSON carrying both progress and merged metrics.
+func TestTelemetryObservesCampaign(t *testing.T) {
+	tel := NewTelemetry()
+	rep := Run(smallSweep(), Options{Workers: 2, Telemetry: tel})
+	snap := tel.Snapshot()
+	if snap.Shards != len(rep.Shards) {
+		t.Fatalf("telemetry saw %d shards, campaign ran %d", snap.Shards, len(rep.Shards))
+	}
+	if snap.Stores == 0 || snap.SimTicks == 0 {
+		t.Fatalf("telemetry counters empty: %+v", snap)
+	}
+
+	rec := httptest.NewRecorder()
+	tel.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var payload struct {
+		Progress TelemetrySnapshot `json:"progress"`
+		Metrics  struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("metrics endpoint served invalid JSON: %v", err)
+	}
+	if payload.Progress.Shards != len(rep.Shards) {
+		t.Fatalf("served %d shards, want %d", payload.Progress.Shards, len(rep.Shards))
+	}
+	if payload.Metrics.Counters["guard.check.pass"] == 0 {
+		t.Fatal("merged metrics missing guard.check.pass")
+	}
+}
+
+// TestHeartbeatEmitsFinalLine: even a campaign shorter than the
+// heartbeat interval records at least one JSONL line — the final
+// snapshot written on shutdown — and every line parses.
+func TestHeartbeatEmitsFinalLine(t *testing.T) {
+	var hb bytes.Buffer
+	tel := NewTelemetry()
+	spec := ShardSpec{Kind: KindStress, Host: config.HostHammer, Org: config.OrgXGFull1L,
+		Seed: 1, CPUs: 1, Cores: 1, Stores: 2}
+	Run([]ShardSpec{spec}, Options{Workers: 1, Telemetry: tel,
+		Heartbeat: time.Hour, HeartbeatW: &hb})
+	lines := strings.Split(strings.TrimSpace(hb.String()), "\n")
+	if len(lines) < 1 || lines[0] == "" {
+		t.Fatalf("heartbeat wrote nothing; want at least the final line")
+	}
+	for i, line := range lines {
+		var snap TelemetrySnapshot
+		if err := json.Unmarshal([]byte(line), &snap); err != nil {
+			t.Fatalf("heartbeat line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+	}
+	var last TelemetrySnapshot
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Shards != 1 {
+		t.Fatalf("final heartbeat reports %d shards, want 1", last.Shards)
+	}
+}
+
+// TestTelemetryNilSafe: campaigns without a telemetry view (every
+// caller before -http existed) run exactly as before.
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.observe(&ShardResult{}) // must not panic
+	rep := Run(smallSweep()[:1], Options{Workers: 1})
+	if rep.Failures() != 0 {
+		t.Fatalf("telemetry-free run failed: %+v", rep.Artifacts)
+	}
+}

@@ -222,6 +222,11 @@ type Msg struct {
 	// outbound accelerator message and rejects accelerator messages
 	// carrying an older epoch as XG.StaleEpoch.
 	Epoch uint32
+	// Span is the causal span id of the guard transaction this message
+	// belongs to (core.Config.Spans). 0 — span tracing disabled, or a
+	// message outside any guard transaction — is omitted from rendering,
+	// so span-free traces are byte-identical to the pre-span format.
+	Span uint64
 }
 
 // Bytes returns the modeled wire size of the message.
@@ -253,6 +258,9 @@ func (m *Msg) String() string {
 	}
 	if m.Epoch != 0 {
 		s += fmt.Sprintf(" epoch=%d", m.Epoch)
+	}
+	if m.Span != 0 {
+		s += fmt.Sprintf(" span=%x", m.Span)
 	}
 	return s
 }

@@ -115,6 +115,20 @@ const DeviceStride coherence.NodeID = 1000
 // node id belongs to (0 for device 0's historical id range).
 func DeviceOf(id coherence.NodeID) int { return int(id / DeviceStride) }
 
+// TrackOf maps a node id onto a timeline-display track (the Perfetto
+// exporter's layout hook): 0 for host-side components (directory/L2, CPU
+// caches and sequencers), d+1 for components of accelerator device d
+// (its guard(s), caches, and sequencers). Only device 0's id range can
+// hold host components, so ids past DeviceStride are always device-side.
+func TrackOf(id coherence.NodeID) int {
+	if base := id % DeviceStride; id < DeviceStride &&
+		(base == nodeHost || (base >= nodeCPU && base < nodeXG) ||
+			(base >= nodeCPUSeq && base < nodeAccel)) {
+		return 0
+	}
+	return DeviceOf(id) + 1
+}
+
 // devID places a base+index node id into device d's id range.
 func devID(d int, base coherence.NodeID, i int) coherence.NodeID {
 	return base + DeviceStride*coherence.NodeID(d) + coherence.NodeID(i)
@@ -165,6 +179,10 @@ type Spec struct {
 	Shards int
 	// BatchGrants enables the guards' per-tick grant batching.
 	BatchGrants bool
+	// Spans enables the guards' causal span tracing (span-begin/-phase/
+	// -end trace events plus per-phase latency histograms). Default-off:
+	// pure observability, and span-free traces stay byte-identical.
+	Spans bool
 	// Small shrinks every cache for stress testing.
 	Small bool
 	// Perms, when set, is installed as the guard's permission table.
@@ -461,6 +479,7 @@ func (s *System) guardCfg(spec Spec, lat Latencies) core.Config {
 		RecoverBackoffCap: spec.RecoverBackoffCap,
 		Shards:            spec.Shards,
 		BatchGrants:       spec.BatchGrants,
+		Spans:             spec.Spans,
 	}
 }
 

@@ -76,9 +76,11 @@ func fmtRec(r Rec) string {
 
 // Options configures a check.
 type Options struct {
-	// Workers bounds the per-location parallelism; <= 0 means
-	// GOMAXPROCS. The verdict is byte-identical for any value: locations
-	// are checked independently and results merged in address order.
+	// Workers bounds the per-block parallelism; <= 0 means GOMAXPROCS.
+	// The verdict is byte-identical for any value: blocks fan out over
+	// the pool as independent work units, locations inside a block are
+	// checked in ascending address order, and results merge in address
+	// order — exactly the sequential checker's visit order.
 	Workers int
 }
 
@@ -125,6 +127,13 @@ func (v *Verdict) Render() string {
 // a copy into canonical order first). Each byte location is checked
 // independently; the verdict lists the first violating edge per
 // violating location, in address order.
+//
+// Parallelism is block-granular: byte locations sharing a cache line
+// (mem.Addr.Line()) form one work unit, so each pool task carries a
+// whole block's history instead of a lone location's handful of
+// records. Grouping is free — the address list is already sorted, so a
+// block is a contiguous index range — and the merge walks results in
+// address order, making the verdict a pure function of the records.
 func Check(recs []Rec, opt Options) *Verdict {
 	sorted := make([]Rec, len(recs))
 	copy(sorted, recs)
@@ -150,33 +159,51 @@ func Check(recs []Rec, opt Options) *Verdict {
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	v.Locations = len(addrs)
 
+	// Block-level work units: addrs is ascending, so the locations of one
+	// cache line occupy a contiguous index range [lo, hi).
+	type unit struct{ lo, hi int }
+	var units []unit
+	for i := 0; i < len(addrs); {
+		j := i + 1
+		for j < len(addrs) && addrs[j].Line() == addrs[i].Line() {
+			j++
+		}
+		units = append(units, unit{i, j})
+		i = j
+	}
+
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(addrs) {
-		workers = len(addrs)
+	if workers > len(units) {
+		workers = len(units)
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
 	found := make([]*Violation, len(addrs))
+	runUnit := func(u unit) {
+		for i := u.lo; i < u.hi; i++ {
+			found[i] = checkLocation(addrs[i], byLoc[addrs[i]])
+		}
+	}
 	if workers == 1 {
-		for i, addr := range addrs {
-			found[i] = checkLocation(addr, byLoc[addr])
+		for _, u := range units {
+			runUnit(u)
 		}
 	} else {
-		next := make(chan int, len(addrs))
-		for i := range addrs {
-			next <- i
+		next := make(chan unit, len(units))
+		for _, u := range units {
+			next <- u
 		}
 		close(next)
 		done := make(chan struct{})
 		for w := 0; w < workers; w++ {
 			go func() {
-				for i := range next {
-					found[i] = checkLocation(addrs[i], byLoc[addrs[i]])
+				for u := range next {
+					runUnit(u)
 				}
 				done <- struct{}{}
 			}()

@@ -156,32 +156,39 @@ func TestLocationsIndependent(t *testing.T) {
 func genHistory(rng *rand.Rand, locs, rounds int) []Rec {
 	var recs []Rec
 	for l := 0; l < locs; l++ {
-		addr := mem.Addr(0x1000 + l*64)
-		now := sim.Time(rng.Intn(50))
-		val := byte(0)
-		for r := 0; r < rounds; r++ {
-			newVal := byte(r%254 + 1)
-			issued := now + sim.Time(rng.Intn(10))
-			done := issued + 1 + sim.Time(rng.Intn(20))
-			recs = append(recs, rec(rng.Intn(4), OpStore, addr, newVal, issued, done))
-			val = newVal
-			now = done + 1 + sim.Time(rng.Intn(5))
-			loads := rng.Intn(3) + 1
-			var maxDone sim.Time
-			for i := 0; i < loads; i++ {
-				li := now + sim.Time(rng.Intn(4))
-				ld := li + 1 + sim.Time(rng.Intn(15))
-				op := OpLoad
-				if rng.Intn(4) == 0 {
-					op = OpVerify
-				}
-				recs = append(recs, rec(rng.Intn(4), op, addr, val, li, ld))
-				if ld > maxDone {
-					maxDone = ld
-				}
+		recs = append(recs, genLoc(rng, mem.Addr(0x1000+l*64), rounds)...)
+	}
+	return recs
+}
+
+// genLoc builds one location's legal serial history (genHistory's inner
+// loop), so block-packing tests can place several locations on one line.
+func genLoc(rng *rand.Rand, addr mem.Addr, rounds int) []Rec {
+	var recs []Rec
+	now := sim.Time(rng.Intn(50))
+	val := byte(0)
+	for r := 0; r < rounds; r++ {
+		newVal := byte(r%254 + 1)
+		issued := now + sim.Time(rng.Intn(10))
+		done := issued + 1 + sim.Time(rng.Intn(20))
+		recs = append(recs, rec(rng.Intn(4), OpStore, addr, newVal, issued, done))
+		val = newVal
+		now = done + 1 + sim.Time(rng.Intn(5))
+		loads := rng.Intn(3) + 1
+		var maxDone sim.Time
+		for i := 0; i < loads; i++ {
+			li := now + sim.Time(rng.Intn(4))
+			ld := li + 1 + sim.Time(rng.Intn(15))
+			op := OpLoad
+			if rng.Intn(4) == 0 {
+				op = OpVerify
 			}
-			now = maxDone + 1 + sim.Time(rng.Intn(5))
+			recs = append(recs, rec(rng.Intn(4), op, addr, val, li, ld))
+			if ld > maxDone {
+				maxDone = ld
+			}
 		}
+		now = maxDone + 1 + sim.Time(rng.Intn(5))
 	}
 	return recs
 }
@@ -219,6 +226,46 @@ func TestQuickInjectedStaleReadFails(t *testing.T) {
 		return !v.OK() && v.First().Addr == recs[i].Addr
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBlockUnitsMatchSequential pins the checker-scale-out
+// contract: with several byte locations packed into each cache line —
+// so a block-level work unit carries more than one location — the full
+// report and the first violation are identical to the sequential
+// checker for any worker count, corrupted histories included.
+func TestQuickBlockUnitsMatchSequential(t *testing.T) {
+	offsets := []mem.Addr{0, 5, 21, 40} // distinct offsets within one 64-byte line
+	f := func(seed int64, corrupt bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		blocks := rng.Intn(4) + 2
+		var recs []Rec
+		for b := 0; b < blocks; b++ {
+			line := mem.Addr(0x2000 + b*64)
+			for _, off := range offsets[:rng.Intn(3)+2] {
+				recs = append(recs, genLoc(rng, line+off, rng.Intn(5)+1)...)
+			}
+		}
+		if corrupt && len(recs) > 0 {
+			recs[rng.Intn(len(recs))].Val = 255 // never a generated value
+		}
+		seq := Check(recs, Options{Workers: 1})
+		for _, w := range []int{2, 4, 16, 0} {
+			par := Check(recs, Options{Workers: w})
+			if par.Render() != seq.Render() {
+				t.Logf("workers=%d report diverged:\n%s\nvs\n%s", w, par.Render(), seq.Render())
+				return false
+			}
+			pf, sf := par.First(), seq.First()
+			if (pf == nil) != (sf == nil) || (pf != nil && pf.String() != sf.String()) {
+				t.Logf("workers=%d first violation diverged: %v vs %v", w, pf, sf)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -154,6 +154,16 @@ type Config struct {
 	// must be a power of two. Sharding is pure state organization — it
 	// never changes simulated timing or message order.
 	Shards int
+	// Spans enables causal span tracing: every accepted accelerator
+	// crossing, host-initiated recall, and recovery cycle is assigned a
+	// stable span id, emits paired span-begin/span-end (+ span-phase)
+	// events on the trace bus, stamps the id on its outbound accelerator
+	// messages, and feeds the per-phase xg.span.* latency histograms.
+	// Off by default: span events interleave with the message trace and
+	// add metrics, so golden traces and metric snapshots are only stable
+	// with spans off (the BatchGrants pattern). Pure observability — span
+	// tracing never changes simulated timing or message order.
+	Spans bool
 	// BatchGrants queues completed grants and flushes them once per tick
 	// instead of sending each the moment its host transaction closes, so
 	// grants for disjoint blocks leave the guard as one per-tick batch.
@@ -182,6 +192,7 @@ type pendingGrant struct {
 	ty   coherence.MsgType
 	addr mem.Addr
 	data *mem.Block
+	span uint64
 }
 
 // Guard is one Crossing Guard instance: the trusted boundary between one
@@ -261,6 +272,22 @@ type Guard struct {
 	mPass      *obs.Counter
 	mPassAccel *obs.Counter
 	mCrossing  *obs.Histogram
+
+	// Span tracing (Config.Spans). spanSeq numbers this guard's spans;
+	// the emitted id is guard-node<<32|seq, unique and deterministic
+	// across the guards of one machine. recoverySpan is the open recovery
+	// cycle's span (0 outside recovery); recoveryMark/recoveryStart time
+	// its phases. The mSpan* histogram pairs (aggregate + per-device) are
+	// the crossing-anatomy instruments, prefetched like mCrossing.
+	spanSeq       uint32
+	recoverySpan  uint64
+	recoveryMark  sim.Time
+	recoveryStart sim.Time
+	mSpanRequest  [2]*obs.Histogram
+	mSpanCheck    [2]*obs.Histogram
+	mSpanGrant    [2]*obs.Histogram
+	mSpanRecall   [2]*obs.Histogram
+	mSpanRetry    [2]*obs.Histogram
 }
 
 // accelTxn is an open accelerator-initiated transaction.
@@ -269,6 +296,13 @@ type accelTxn struct {
 	data  *mem.Block        // Put payload held at the guard
 	dirty bool
 	start sim.Time // acceptance tick, for the crossing-latency histogram
+	// Span tracing (Config.Spans): the crossing's span id, its arrival
+	// tick (request-phase start, before rate limiting and deferrals), and
+	// the tick the request was dispatched to the host shim (check-phase
+	// end). All zero with spans off.
+	span   uint64
+	arrive sim.Time
+	fwd    sim.Time
 }
 
 // hostTxn is an open host-initiated recall toward the accelerator.
@@ -289,6 +323,12 @@ type hostTxn struct {
 	// transaction.
 	gen    uint64
 	closed bool
+	// Span tracing (Config.Spans): the recall's span id, its opening
+	// tick, and the tick of the first watchdog retry (0 when the recall
+	// never retried). All zero with spans off.
+	span    uint64
+	opened  sim.Time
+	retryAt sim.Time
 }
 
 // complete invokes the recall's completion callback plus every coalesced
@@ -369,6 +409,16 @@ func (g *Guard) AttachObs(r *obs.Registry) {
 	g.mPass = r.Counter("guard.check.pass")
 	g.mPassAccel = r.Counter("guard.check.pass" + g.metricSuffix())
 	g.mCrossing = r.Histogram("xg.crossing.ticks")
+	if g.cfg.Spans {
+		// The crossing-anatomy histograms exist only with span tracing on,
+		// so span-free metric snapshots stay byte-identical.
+		suffix := g.metricSuffix()
+		g.mSpanRequest = [2]*obs.Histogram{r.Histogram("xg.span.request.ticks"), r.Histogram("xg.span.request.ticks" + suffix)}
+		g.mSpanCheck = [2]*obs.Histogram{r.Histogram("xg.span.check.ticks"), r.Histogram("xg.span.check.ticks" + suffix)}
+		g.mSpanGrant = [2]*obs.Histogram{r.Histogram("xg.span.grant.ticks"), r.Histogram("xg.span.grant.ticks" + suffix)}
+		g.mSpanRecall = [2]*obs.Histogram{r.Histogram("xg.span.recall.ticks"), r.Histogram("xg.span.recall.ticks" + suffix)}
+		g.mSpanRetry = [2]*obs.Histogram{r.Histogram("xg.span.retry.ticks"), r.Histogram("xg.span.retry.ticks" + suffix)}
+	}
 }
 
 // ID implements coherence.Controller.
@@ -446,6 +496,56 @@ func (g *Guard) staleEpoch(m *coherence.Msg) {
 // after applies the guard's processing latency.
 func (g *Guard) after(fn func()) { g.eng.Schedule(g.cfg.GuardLat, fn) }
 
+// newSpanID allocates the next causal span id for this guard:
+// guard-node<<32|sequence, unique and deterministic across the guards of
+// one machine. Only called with Config.Spans on, so span-free runs never
+// advance the counter.
+func (g *Guard) newSpanID() uint64 {
+	g.spanSeq++
+	return uint64(uint32(g.id))<<32 | uint64(g.spanSeq)
+}
+
+// spanEvent emits one span-lifecycle trace event (Config.Spans only).
+// from, when nonzero, names the host node whose request caused the
+// transition; the Perfetto exporter draws cross-device flow arrows from
+// it.
+func (g *Guard) spanEvent(kind obs.Kind, span uint64, addr mem.Addr, from coherence.NodeID, payload string) {
+	if !g.cfg.Spans || span == 0 {
+		return
+	}
+	if b := g.fab.Bus; b.Active() {
+		b.Emit(obs.Event{
+			Tick: g.eng.Now(), Component: g.name, Kind: kind,
+			Addr: addr, From: from, Accel: g.accelTag, Span: span, Payload: payload,
+		})
+	}
+}
+
+// observeSpan records one phase duration into an aggregate+per-device
+// histogram pair (nil-safe before AttachObs).
+func observeSpan(h [2]*obs.Histogram, v float64) {
+	h[0].Observe(v)
+	h[1].Observe(v)
+}
+
+// closeCrossingSpan ends one accelerator crossing's span and feeds the
+// per-phase anatomy histograms: request (arrival to acceptance — rate
+// limiting and busy-line deferrals), check (acceptance to host
+// dispatch), grant (host dispatch to completion). A crossing consumed
+// before its dispatch closure ran (the Put/Inv race) has no dispatch
+// tick and contributes only its request phase.
+func (g *Guard) closeCrossingSpan(t *accelTxn, addr mem.Addr, outcome string) {
+	if !g.cfg.Spans || t.span == 0 {
+		return
+	}
+	observeSpan(g.mSpanRequest, float64(t.start-t.arrive))
+	if t.fwd != 0 {
+		observeSpan(g.mSpanCheck, float64(t.fwd-t.start))
+		observeSpan(g.mSpanGrant, float64(g.eng.Now()-t.fwd))
+	}
+	g.spanEvent(obs.KindSpanEnd, t.span, addr, 0, outcome)
+}
+
 // violation records a guarantee violation and applies the error policy.
 func (g *Guard) violation(code, detail string, addr mem.Addr) {
 	g.errors++
@@ -515,7 +615,7 @@ func (g *Guard) enterQuarantine(addr mem.Addr) {
 		sh := g.shard(a)
 		ht := sh.hosts[a]
 		g.obsReg.Counter("guard.quarantine.recalls").Inc()
-		g.closeRecall(a, ht)
+		g.closeRecall(a, ht, "quarantine")
 		g.answerFromTrusted(a, ht)
 		if sh.table != nil {
 			sh.table.drop(a)
@@ -560,27 +660,30 @@ func (g *Guard) handleAccelRequest(m *coherence.Msg) {
 		g.ReqsBlocked++
 		g.obsReg.Counter("guard.quarantine.nacks").Inc()
 		addr := m.Addr.Line()
-		g.after(func() { g.sendToAccel(coherence.ANack, addr, nil, false) })
+		g.after(func() { g.sendToAccel(coherence.ANack, addr, nil, false, 0) })
 		return
 	}
 	if g.Disabled {
 		g.ReqsBlocked++
 		return
 	}
+	arrive := g.eng.Now()
 	// §2.5: rate-limit requests (responses are never delayed). The
 	// limiter hands out a single wait per request (queue semantics).
 	if g.cfg.Rate != nil {
-		if wait := g.cfg.Rate.Admit(g.eng.Now()); wait > 0 {
+		if wait := g.cfg.Rate.Admit(arrive); wait > 0 {
 			g.RateDelayed++
-			g.eng.Schedule(wait, func() { g.processAccelRequest(m) })
+			g.eng.Schedule(wait, func() { g.processAccelRequest(m, arrive) })
 			return
 		}
 	}
-	g.processAccelRequest(m)
+	g.processAccelRequest(m, arrive)
 }
 
 // processAccelRequest runs the guarantee checks after rate admission.
-func (g *Guard) processAccelRequest(m *coherence.Msg) {
+// arrive is the request's original arrival tick (kept across rate-limit
+// waits and busy-line deferrals; it anchors the span request phase).
+func (g *Guard) processAccelRequest(m *coherence.Msg, arrive sim.Time) {
 	if g.Disabled {
 		g.ReqsBlocked++
 		return
@@ -613,7 +716,7 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 	// Get while its own Put for the line is outstanding.
 	if _, open := sh.txns[addr]; !open {
 		if _, recalling := sh.hosts[addr]; !recalling && g.shim.busy(addr) {
-			g.eng.Schedule(1, func() { g.processAccelRequest(m) })
+			g.eng.Schedule(1, func() { g.processAccelRequest(m, arrive) })
 			return
 		}
 	}
@@ -633,7 +736,7 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 			g.resolveRecallByPut(addr, ht, m)
 			return
 		default:
-			g.eng.Schedule(1, func() { g.processAccelRequest(m) })
+			g.eng.Schedule(1, func() { g.processAccelRequest(m, arrive) })
 			return
 		}
 	}
@@ -649,7 +752,7 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 			// a *correct-but-confused* accelerator is not left hanging.
 			switch m.Type {
 			case coherence.APutM, coherence.APutE, coherence.APutS:
-				g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+				g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false, 0) })
 			}
 			return
 		}
@@ -660,7 +763,7 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 		m = &coherence.Msg{Type: m.Type, Addr: m.Addr, Src: m.Src, Dst: m.Dst, Data: mem.Zero()}
 	}
 
-	g.forwardRequest(addr, m, access)
+	g.forwardRequest(addr, m, access, arrive)
 }
 
 // forwardRequest opens the transaction synchronously (so that racing
@@ -668,15 +771,20 @@ func (g *Guard) processAccelRequest(m *coherence.Msg) {
 // guard's processing latency. The dispatch re-checks that the very same
 // transaction is still open: a recall can consume a buffered Put in the
 // latency window (the Put/Inv race), in which case nothing reaches the
-// host.
-func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Access) {
+// host. With span tracing on, the accepted crossing opens its span here
+// and marks the check-phase end at dispatch.
+func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Access, arrive sim.Time) {
 	g.mPass.Inc()
 	g.mPassAccel.Inc()
 	sh := g.shard(addr)
 	switch m.Type {
 	case coherence.AGetS, coherence.AGetM:
-		t := &accelTxn{kind: m.Type, start: g.eng.Now()}
+		t := &accelTxn{kind: m.Type, start: g.eng.Now(), arrive: arrive}
 		sh.txns[addr] = t
+		if g.cfg.Spans {
+			t.span = g.newSpanID()
+			g.spanEvent(obs.KindSpanBegin, t.span, addr, 0, "crossing "+m.Type.String())
+		}
 		kind := GetExcl
 		if m.Type == coherence.AGetS {
 			kind = GetShared
@@ -691,14 +799,23 @@ func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Acce
 		}
 		g.after(func() {
 			if sh.txns[addr] == t {
+				t.fwd = g.eng.Now()
+				g.spanEvent(obs.KindSpanPhase, t.span, addr, 0, "check")
 				g.shim.get(addr, kind)
 			}
 		})
 	case coherence.APutM, coherence.APutE:
-		t := &accelTxn{kind: m.Type, data: m.Data.Copy(), dirty: m.Type == coherence.APutM, start: g.eng.Now()}
+		t := &accelTxn{kind: m.Type, data: m.Data.Copy(), dirty: m.Type == coherence.APutM,
+			start: g.eng.Now(), arrive: arrive}
 		sh.txns[addr] = t
+		if g.cfg.Spans {
+			t.span = g.newSpanID()
+			g.spanEvent(obs.KindSpanBegin, t.span, addr, 0, "crossing "+m.Type.String())
+		}
 		g.after(func() {
 			if sh.txns[addr] == t {
+				t.fwd = g.eng.Now()
+				g.spanEvent(obs.KindSpanPhase, t.span, addr, 0, "check")
 				g.shim.put(addr, t.data.Copy(), t.dirty)
 			}
 		})
@@ -714,7 +831,7 @@ func (g *Guard) forwardRequest(addr mem.Addr, m *coherence.Msg, access perm.Acce
 		if sh.table != nil {
 			sh.table.drop(addr)
 		}
-		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false, 0) })
 	}
 }
 
@@ -730,6 +847,7 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 		data = mem.Zero()
 	}
 	if g.Quarantined {
+		g.closeCrossingSpan(t, addr, "grant-quarantined")
 		// The grant raced the quarantine: the host has handed the line
 		// over, but the accelerator must not see it. The guard claims the
 		// line itself. A trusted copy is kept only for exclusive grants,
@@ -771,14 +889,17 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 	if b := g.fab.Bus; b.Active() {
 		b.Emit(obs.Event{
 			Tick: g.eng.Now(), Component: g.name, Kind: obs.KindGrant,
-			Addr: addr, Accel: g.accelTag, Msg: ty, To: g.accel, Payload: accelLevel.String(),
+			Addr: addr, Accel: g.accelTag, Msg: ty, To: g.accel, Span: t.span,
+			Payload: accelLevel.String(),
 		})
 	}
+	g.closeCrossingSpan(t, addr, "grant "+accelLevel.String())
 	if g.cfg.BatchGrants {
-		g.queueGrant(ty, addr, data.Copy())
+		g.queueGrant(ty, addr, data.Copy(), t.span)
 		return
 	}
-	g.after(func() { g.sendToAccel(ty, addr, data.Copy(), false) })
+	span := t.span
+	g.after(func() { g.sendToAccel(ty, addr, data.Copy(), false, span) })
 }
 
 // queueGrant appends one completed grant to the per-tick batch and arms
@@ -786,8 +907,8 @@ func (g *Guard) granted(addr mem.Addr, level Grant, data *mem.Block, dirty bool)
 // after the guard's processing latency — the same delay an unbatched
 // grant pays — so batching merges departures without adding latency to
 // the first grant of a tick.
-func (g *Guard) queueGrant(ty coherence.MsgType, addr mem.Addr, data *mem.Block) {
-	g.pending = append(g.pending, pendingGrant{ty: ty, addr: addr, data: data})
+func (g *Guard) queueGrant(ty coherence.MsgType, addr mem.Addr, data *mem.Block, span uint64) {
+	g.pending = append(g.pending, pendingGrant{ty: ty, addr: addr, data: data, span: span})
 	if g.flushPending {
 		return
 	}
@@ -803,7 +924,7 @@ func (g *Guard) flushGrants() {
 	g.GrantBatches++
 	g.GrantsBatched += uint64(len(batch))
 	for i := range batch {
-		g.sendToAccel(batch[i].ty, batch[i].addr, batch[i].data, false)
+		g.sendToAccel(batch[i].ty, batch[i].addr, batch[i].data, false, batch[i].span)
 		batch[i].data = nil
 	}
 	g.pending = batch[:0]
@@ -826,9 +947,12 @@ func (g *Guard) putDone(addr mem.Addr) {
 		// Writeback completed after the fence; the data is safely with the
 		// host, but the fenced accelerator gets no ack (it would be nacked
 		// if it asked again anyway).
+		g.closeCrossingSpan(t, addr, "wback-quarantined")
 		return
 	}
-	g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+	g.closeCrossingSpan(t, addr, "wback")
+	span := t.span
+	g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false, span) })
 }
 
 // openPut returns the open Put transaction for addr, if any (shims use
@@ -840,9 +964,12 @@ func (g *Guard) openPut(addr mem.Addr) *accelTxn {
 	return nil
 }
 
-func (g *Guard) sendToAccel(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool) {
+// sendToAccel sends one guard->accelerator interface message, stamped
+// with the guard epoch and, when span tracing is on, the causal span id
+// of the transaction it belongs to (0 for messages outside any span).
+func (g *Guard) sendToAccel(ty coherence.MsgType, addr mem.Addr, data *mem.Block, dirty bool, span uint64) {
 	g.send(&coherence.Msg{Type: ty, Addr: addr, Src: g.id, Dst: g.accel, Data: data, Dirty: dirty,
-		Epoch: g.epoch})
+		Epoch: g.epoch, Span: span})
 }
 
 // Outstanding reports open guard transactions (for deadlock detection).

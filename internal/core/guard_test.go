@@ -161,7 +161,7 @@ func TestRecallRaceCorrections(t *testing.T) {
 		r.eng.RunUntilQuiet()
 		var got *mem.Block
 		var viaPut bool
-		r.g.startRecall(0x40, viewM, func(d *mem.Block, dirty, vp bool) { got, viaPut = d, vp })
+		r.g.startRecall(0x40, viewM, 0, func(d *mem.Block, dirty, vp bool) { got, viaPut = d, vp })
 		// The racing Put arrives... malformed, with no data.
 		r.fromAccel(coherence.APutM, 0x40, nil)
 		if got == nil {
@@ -180,7 +180,7 @@ func TestRecallRaceCorrections(t *testing.T) {
 		r.g.granted(0x40, GrantS, mem.Zero(), false)
 		r.eng.RunUntilQuiet()
 		var got *mem.Block = mem.Zero()
-		r.g.startRecall(0x40, viewS, func(d *mem.Block, dirty, vp bool) { got = d })
+		r.g.startRecall(0x40, viewS, 0, func(d *mem.Block, dirty, vp bool) { got = d })
 		var blk mem.Block
 		blk[0] = 0xbad & 0xff
 		r.fromAccel(coherence.APutM, 0x40, &blk) // S holder injecting data
@@ -197,7 +197,7 @@ func TestRecallRaceCorrections(t *testing.T) {
 		r.g.granted(0x40, GrantM, mem.Zero(), false)
 		r.eng.RunUntilQuiet()
 		var got *mem.Block
-		r.g.startRecall(0x40, viewM, func(d *mem.Block, dirty, vp bool) { got = d })
+		r.g.startRecall(0x40, viewM, 0, func(d *mem.Block, dirty, vp bool) { got = d })
 		var blk mem.Block
 		blk[3] = 77
 		r.fromAccel(coherence.APutM, 0x40, &blk)
@@ -225,7 +225,7 @@ func TestRecallTimeoutUsesTrustedCopy(t *testing.T) {
 	r.g.granted(0x1040, GrantE, &blk, false) // degraded + copy kept
 	r.eng.RunUntilQuiet()
 	var got *mem.Block
-	r.g.startRecall(0x1040, viewS, func(d *mem.Block, dirty, vp bool) { got = d })
+	r.g.startRecall(0x1040, viewS, 0, func(d *mem.Block, dirty, vp bool) { got = d })
 	// The accelerator never answers; run past the timeout.
 	r.eng.RunUntilQuiet()
 	if r.g.Timeouts != 1 {

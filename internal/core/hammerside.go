@@ -254,7 +254,7 @@ func (s *hammerShim) handleForward(m *coherence.Msg, getM bool) {
 			s.ack(addr, r, true)
 			return
 		}
-		s.g.startRecall(addr, viewS, func(data *mem.Block, dirty bool, viaPut bool) {
+		s.g.startRecall(addr, viewS, r, func(data *mem.Block, dirty bool, viaPut bool) {
 			if data != nil {
 				// Transactional mode forwarding a (suspicious) writeback:
 				// the requestor tolerates extra data under TxnMods.
@@ -267,7 +267,7 @@ func (s *hammerShim) handleForward(m *coherence.Msg, getM bool) {
 	case viewE, viewM:
 		s.recallOwner(addr, view, r, getM)
 	default: // viewUnknown (Transactional)
-		s.g.startRecall(addr, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) {
+		s.g.startRecall(addr, viewUnknown, r, func(data *mem.Block, dirty bool, viaPut bool) {
 			if data == nil {
 				s.ack(addr, r, false)
 				return
@@ -295,14 +295,14 @@ func (s *hammerShim) serveFromCopy(addr mem.Addr, entry *blockEntry, r coherence
 	}
 	// Fwd_GetM: the accelerator's S copy must die before the writer may
 	// proceed; then the trusted copy answers.
-	s.g.startRecall(addr, viewS, func(_ *mem.Block, _ bool, _ bool) {
+	s.g.startRecall(addr, viewS, r, func(_ *mem.Block, _ bool, _ bool) {
 		s.send(&coherence.Msg{Type: coherence.HData, Addr: addr, Src: s.g.id, Dst: r,
 			Data: copyData, Dirty: copyDirty, Shared: true})
 	})
 }
 
 func (s *hammerShim) recallOwner(addr mem.Addr, view viewState, r coherence.NodeID, getM bool) {
-	s.g.startRecall(addr, view, func(data *mem.Block, dirty bool, viaPut bool) {
+	s.g.startRecall(addr, view, r, func(data *mem.Block, dirty bool, viaPut bool) {
 		if data == nil {
 			data, dirty = mem.Zero(), true
 		}

@@ -208,7 +208,7 @@ func (s *mesiShim) handleInv(m *coherence.Msg) {
 		s.g.SnoopsFiltered++
 		s.invAck(addr, r)
 	default:
-		s.g.startRecall(addr, view, func(data *mem.Block, dirty bool, viaPut bool) {
+		s.g.startRecall(addr, view, r, func(data *mem.Block, dirty bool, viaPut bool) {
 			if data != nil {
 				// The accelerator answered an Inv with a writeback; the
 				// data goes to the L2, which acks the requestor on the
@@ -240,11 +240,11 @@ func (s *mesiShim) handleInvToL2(m *coherence.Msg) {
 		// Read-only block owned by the guard: the accelerator's S copy
 		// still dies, but the trusted copy answers.
 		copyData, copyDirty := entry.copy.Copy(), entry.dirty
-		s.g.startRecall(addr, viewS, func(_ *mem.Block, _ bool, _ bool) {
+		s.g.startRecall(addr, viewS, s.l2, func(_ *mem.Block, _ bool, _ bool) {
 			s.copyToL2(addr, copyData, copyDirty)
 		})
 	default:
-		s.g.startRecall(addr, view, func(data *mem.Block, dirty bool, viaPut bool) {
+		s.g.startRecall(addr, view, s.l2, func(data *mem.Block, dirty bool, viaPut bool) {
 			if data != nil {
 				s.copyToL2(addr, data, dirty)
 				return
@@ -281,11 +281,11 @@ func (s *mesiShim) handleFwd(m *coherence.Msg, getM bool) {
 			entry.copy = nil // no longer the owner; the copy is moot
 			return
 		}
-		s.g.startRecall(addr, viewS, func(_ *mem.Block, _ bool, _ bool) {
+		s.g.startRecall(addr, viewS, r, func(_ *mem.Block, _ bool, _ bool) {
 			s.dataOwner(addr, r, copyData, copyDirty)
 		})
 	case view == viewE || view == viewM || view == viewUnknown:
-		s.g.startRecall(addr, view, func(data *mem.Block, dirty bool, viaPut bool) {
+		s.g.startRecall(addr, view, r, func(data *mem.Block, dirty bool, viaPut bool) {
 			if data == nil {
 				// Transactional mode: the accelerator InvAcked a forward
 				// that demanded data. Forward the ack; the modified host

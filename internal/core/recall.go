@@ -62,16 +62,20 @@ func (g *Guard) accelHolds(addr mem.Addr) (viewState, *blockEntry) {
 
 // startRecall obtains a block back from the accelerator: it sends the
 // interface's single host request (Inv), arms the Guarantee 2c watchdog,
-// validates the response (2a/2b), and resolves the Put/Inv race. done is
-// invoked exactly once with the recovered data (nil when the accelerator
-// held no data) and whether the resolution came from a racing Put.
+// validates the response (2a/2b), and resolves the Put/Inv race. req
+// names the host node whose request triggered the recall (0 when the
+// host protocol does not say); it only feeds span tracing, where the
+// Perfetto exporter draws recall fan-out and cross-device ownership
+// migration arrows from it. done is invoked exactly once with the
+// recovered data (nil when the accelerator held no data) and whether the
+// resolution came from a racing Put.
 //
 // A recall arriving while one for the same block is already in flight —
 // two host-side requestors racing for the line, reachable once several
 // guards (and hence several host requestors' forwards) share one fabric
 // — is coalesced: the accelerator sees exactly one Invalidate, and every
 // waiter completes from the single response.
-func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem.Block, dirty bool, viaPut bool)) {
+func (g *Guard) startRecall(addr mem.Addr, expect viewState, req coherence.NodeID, done func(data *mem.Block, dirty bool, viaPut bool)) {
 	sh := g.shard(addr)
 	if ht, open := sh.hosts[addr]; open {
 		g.RecallsCoalesced++
@@ -83,12 +87,14 @@ func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem
 				Payload: "recall coalesced onto in-flight Invalidate",
 			})
 		}
+		g.spanEvent(obs.KindSpanPhase, ht.span, addr, req, "coalesced")
 		ht.waiters = append(ht.waiters, done)
 		return
 	}
 	// Quarantined accelerators are never consulted: the guard answers the
 	// host immediately from trusted state (Full State copy, or zero data)
-	// without sending an Invalidate or arming a watchdog.
+	// without sending an Invalidate or arming a watchdog. No span opens:
+	// nothing crosses to the accelerator.
 	if g.Quarantined {
 		g.obsReg.Counter("guard.quarantine.recalls").Inc()
 		ht := newHostTxn(expect, done)
@@ -99,21 +105,30 @@ func (g *Guard) startRecall(addr mem.Addr, expect viewState, done func(data *mem
 		}
 		return
 	}
-	// A Put already buffered at the guard resolves the recall at once.
+	// A Put already buffered at the guard resolves the recall at once;
+	// the consumed crossing's span ends here (nothing reaches the host).
 	if t := g.openPut(addr); t != nil {
 		data, dirty := t.data, t.dirty
 		delete(sh.txns, addr)
 		if sh.table != nil {
 			sh.table.drop(addr)
 		}
-		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+		g.closeCrossingSpan(t, addr, "put-consumed-by-recall")
+		span := t.span
+		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false, span) })
 		done(data, dirty, true)
 		return
 	}
 	ht := newHostTxn(expect, done)
 	sh.hosts[addr] = ht
 	g.SnoopsForwarded++
-	g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false) })
+	if g.cfg.Spans {
+		ht.span = g.newSpanID()
+		ht.opened = g.eng.Now()
+		g.spanEvent(obs.KindSpanBegin, ht.span, addr, req, "recall "+expect.String())
+	}
+	span := ht.span
+	g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false, span) })
 	if g.cfg.Timeout > 0 {
 		g.armRecallWatchdog(addr, ht, g.cfg.Timeout, 0)
 	}
@@ -156,10 +171,17 @@ func (g *Guard) armRecallWatchdog(addr mem.Addr, ht *hostTxn, deadline sim.Time,
 				b.Emit(obs.Event{
 					Tick: g.eng.Now(), Component: g.name, Kind: obs.KindRetry,
 					Addr: addr, Accel: g.accelTag, Msg: coherence.AInv, To: g.accel,
+					Span:    ht.span,
 					Payload: fmt.Sprintf("recall retry %d/%d", attempt+1, g.cfg.RecallRetries),
 				})
 			}
-			g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false) })
+			if ht.retryAt == 0 {
+				ht.retryAt = g.eng.Now()
+			}
+			g.spanEvent(obs.KindSpanPhase, ht.span, addr, 0,
+				fmt.Sprintf("retry %d/%d", attempt+1, g.cfg.RecallRetries))
+			span := ht.span
+			g.after(func() { g.sendToAccel(coherence.AInv, addr, nil, false, span) })
 			g.armRecallWatchdog(addr, ht, deadline*2, attempt+1)
 			return
 		}
@@ -184,7 +206,7 @@ func (g *Guard) recallTimeout(addr mem.Addr, ht *hostTxn) {
 	if ht.closed {
 		return
 	}
-	g.closeRecall(addr, ht)
+	g.closeRecall(addr, ht, "timeout")
 	// Prefer the trusted copy when Full State kept one; otherwise a zero
 	// block keeps the host protocol moving.
 	g.answerFromTrusted(addr, ht)
@@ -201,11 +223,11 @@ func (g *Guard) resolveRecallByPut(addr mem.Addr, ht *hostTxn, m *coherence.Msg)
 	if ht.closed {
 		// Recall already satisfied (e.g. by timeout); treat the Put as
 		// a plain writeback-to-nowhere: ack the accelerator.
-		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+		g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false, 0) })
 		return
 	}
 	sh := g.shard(addr)
-	g.closeRecall(addr, ht)
+	g.closeRecall(addr, ht, "put-race")
 	sh.ignoreInvAck[addr]++
 	var data *mem.Block
 	dirty := false
@@ -233,14 +255,27 @@ func (g *Guard) resolveRecallByPut(addr mem.Addr, ht *hostTxn, m *coherence.Msg)
 	if sh.table != nil {
 		sh.table.drop(addr)
 	}
-	g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false) })
+	span := ht.span
+	g.after(func() { g.sendToAccel(coherence.AWBAck, addr, nil, false, span) })
 	ht.complete(data, dirty, true)
 }
 
-func (g *Guard) closeRecall(addr mem.Addr, ht *hostTxn) {
+// closeRecall retires one registered recall. reason names the
+// resolution path ("response", "timeout", "put-race", "quarantine") and
+// becomes the span-end payload; the recall's total duration — and, for
+// recalls that needed watchdog retries, the tail past the first retry —
+// feeds the anatomy histograms.
+func (g *Guard) closeRecall(addr mem.Addr, ht *hostTxn, reason string) {
 	ht.closed = true
 	ht.gen++ // invalidate any armed watchdog generation
 	delete(g.shard(addr).hosts, addr)
+	if g.cfg.Spans && ht.span != 0 {
+		observeSpan(g.mSpanRecall, float64(g.eng.Now()-ht.opened))
+		if ht.retryAt != 0 {
+			observeSpan(g.mSpanRetry, float64(g.eng.Now()-ht.retryAt))
+		}
+		g.spanEvent(obs.KindSpanEnd, ht.span, addr, 0, reason)
+	}
 }
 
 // handleAccelResponse validates and translates the accelerator's three
@@ -273,7 +308,7 @@ func (g *Guard) handleAccelResponse(m *coherence.Msg) {
 		return
 	}
 	data, dirty, errCode := g.validateResponse(addr, ht, m)
-	g.closeRecall(addr, ht)
+	g.closeRecall(addr, ht, "response")
 	if sh.table != nil {
 		sh.table.drop(addr)
 	}

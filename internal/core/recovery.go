@@ -92,7 +92,33 @@ func (g *Guard) scheduleRecovery(addr mem.Addr) {
 	g.obsReg.Counter("guard.recovery.backoff" + g.metricSuffix()).Inc()
 	g.recoveryEvent(addr, fmt.Sprintf("recovery %d/%d scheduled, backoff %d ticks",
 		g.recoveries+1, g.maxRecoveries(), uint64(delay)))
-	g.eng.Schedule(delay, g.recoveryDrainWait)
+	if g.cfg.Spans {
+		g.recoverySpan = g.newSpanID()
+		g.recoveryStart = g.eng.Now()
+		g.recoveryMark = g.recoveryStart
+		g.spanEvent(obs.KindSpanBegin, g.recoverySpan, addr, 0,
+			fmt.Sprintf("recovery %d/%d", g.recoveries+1, g.maxRecoveries()))
+	}
+	g.eng.Schedule(delay, func() {
+		g.recoveryPhase("backoff")
+		g.recoveryDrainWait()
+	})
+}
+
+// recoveryPhase marks the end of one recovery-span phase ("backoff",
+// "drain"): the elapsed ticks since the previous phase boundary feed the
+// xg.span.recovery.<phase>.ticks histograms and a span-phase event is
+// emitted. No-op outside an open recovery span.
+func (g *Guard) recoveryPhase(ended string) {
+	if !g.cfg.Spans || g.recoverySpan == 0 {
+		return
+	}
+	now := g.eng.Now()
+	name := "xg.span.recovery." + ended + ".ticks"
+	g.obsReg.Histogram(name).Observe(float64(now - g.recoveryMark))
+	g.obsReg.Histogram(name + g.metricSuffix()).Observe(float64(now - g.recoveryMark))
+	g.recoveryMark = now
+	g.spanEvent(obs.KindSpanPhase, g.recoverySpan, 0, 0, ended)
 }
 
 // recoveryDrainWait polls until every in-flight transaction has settled:
@@ -149,6 +175,7 @@ func (g *Guard) recoveryDrainTable() {
 	g.obsReg.Counter("guard.recovery.drained_lines").Add(uint64(len(addrs)))
 	g.obsReg.Counter("guard.recovery.drained_lines" + g.metricSuffix()).Add(uint64(len(addrs)))
 	g.recoveryEvent(0, fmt.Sprintf("drain flushed %d lines", len(addrs)))
+	g.recoveryPhase("drain")
 	g.recoveryResetWait()
 }
 
@@ -191,4 +218,14 @@ func (g *Guard) reintegrate() {
 	g.obsReg.Counter("guard.recovery.reintegrated" + g.metricSuffix()).Inc()
 	g.recoveryEvent(0, fmt.Sprintf("device reset, reintegrated under epoch %d (recovery %d/%d)",
 		g.epoch, g.recoveries, g.maxRecoveries()))
+	if g.cfg.Spans && g.recoverySpan != 0 {
+		now := g.eng.Now()
+		g.obsReg.Histogram("xg.span.recovery.reset.ticks").Observe(float64(now - g.recoveryMark))
+		g.obsReg.Histogram("xg.span.recovery.reset.ticks" + g.metricSuffix()).Observe(float64(now - g.recoveryMark))
+		g.obsReg.Histogram("xg.span.recovery.total.ticks").Observe(float64(now - g.recoveryStart))
+		g.obsReg.Histogram("xg.span.recovery.total.ticks" + g.metricSuffix()).Observe(float64(now - g.recoveryStart))
+		g.spanEvent(obs.KindSpanEnd, g.recoverySpan, 0, 0,
+			fmt.Sprintf("reintegrated epoch %d", g.epoch))
+		g.recoverySpan = 0
+	}
 }

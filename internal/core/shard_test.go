@@ -113,8 +113,8 @@ func TestRecallCoalescing(t *testing.T) {
 
 	first, second := 0, 0
 	var firstData, secondData *mem.Block
-	r.g.startRecall(0x40, viewM, func(data *mem.Block, dirty bool, viaPut bool) { first++; firstData = data })
-	r.g.startRecall(0x40, viewM, func(data *mem.Block, dirty bool, viaPut bool) { second++; secondData = data })
+	r.g.startRecall(0x40, viewM, 0, func(data *mem.Block, dirty bool, viaPut bool) { first++; firstData = data })
+	r.g.startRecall(0x40, viewM, 0, func(data *mem.Block, dirty bool, viaPut bool) { second++; secondData = data })
 	r.eng.RunUntil(10)
 	if got := countToAccel(r, coherence.AInv); got != 1 {
 		t.Fatalf("accelerator saw %d Invalidates, want 1 (coalesced)", got)
@@ -146,13 +146,13 @@ func TestRecallCoalescing(t *testing.T) {
 func TestRecallCoalescingResolvedByPut(t *testing.T) {
 	r := newRecallRig(Transactional, Config{Timeout: 1000, GuardLat: 1})
 	first, second := 0, 0
-	r.g.startRecall(0x40, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) {
+	r.g.startRecall(0x40, viewUnknown, 0, func(data *mem.Block, dirty bool, viaPut bool) {
 		if !viaPut {
 			t.Error("first waiter not resolved via Put")
 		}
 		first++
 	})
-	r.g.startRecall(0x40, viewUnknown, func(data *mem.Block, dirty bool, viaPut bool) {
+	r.g.startRecall(0x40, viewUnknown, 0, func(data *mem.Block, dirty bool, viaPut bool) {
 		if !viaPut {
 			t.Error("second waiter not resolved via Put")
 		}

@@ -41,12 +41,25 @@ const (
 	// bumped epoch, or conversion to permanent quarantine. The payload
 	// names the step.
 	KindRecovery
+	// KindSpanBegin opens a causal span (core.Config.Spans): one guard
+	// transaction — an accepted accelerator crossing, a host-initiated
+	// recall, or a recovery cycle — identified by the Span field. The
+	// payload names the operation ("crossing A:GetM", "recall M",
+	// "recovery 1/3").
+	KindSpanBegin
+	// KindSpanPhase marks the completion of one phase inside an open
+	// span; the payload names the phase that just ended ("check",
+	// "retry 1/2", "coalesced", "backoff", "drain").
+	KindSpanPhase
+	// KindSpanEnd closes a span; the payload names the outcome ("grant M",
+	// "wback", "response", "timeout", "reintegrated epoch 1").
+	KindSpanEnd
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{"send", "recv", "drop", "violation", "grant", "timeout",
-	"fault", "retry", "quarantine", "recovery"}
+	"fault", "retry", "quarantine", "recovery", "span-begin", "span-phase", "span-end"}
 
 // String returns the JSON wire name of the kind (e.g. "send").
 func (k Kind) String() string {
@@ -78,6 +91,12 @@ type Event struct {
 	// is omitted from rendered output, so single-accelerator traces are
 	// byte-identical to the pre-multi-accelerator format.
 	Accel int
+	// Span is the causal span id tying span-begin/span-phase/span-end
+	// events (and the message events of the same transaction) together.
+	// 0 — span tracing disabled or event outside any span — is omitted
+	// from rendered output, so traces without spans are byte-identical
+	// to the pre-span format.
+	Span uint64
 	// Payload carries free-form detail (violation code, message rendering).
 	Payload string
 }
@@ -101,6 +120,9 @@ func (e Event) String() string {
 	if e.Accel != 0 {
 		s += fmt.Sprintf(" accel=%d", e.Accel)
 	}
+	if e.Span != 0 {
+		s += fmt.Sprintf(" span=%x", e.Span)
+	}
 	if e.Payload != "" {
 		s += " " + e.Payload
 	}
@@ -108,12 +130,12 @@ func (e Event) String() string {
 }
 
 // AppendJSON appends the event as a single JSON object with a fixed
-// field order (tick, comp, kind, addr, msg, from, to, accel, payload;
-// zero fields omitted), so traces are byte-identical run over run
-// without going through encoding/json's reflection. The accel field —
-// xg.accel.id, the reporting guard's device index — is one of the
-// omitted-when-zero fields, so device-0 events render exactly as they
-// did before multi-accelerator support.
+// field order (tick, comp, kind, addr, msg, from, to, accel, span,
+// payload; zero fields omitted), so traces are byte-identical run over
+// run without going through encoding/json's reflection. The accel field
+// — xg.accel.id, the reporting guard's device index — and the span
+// field are omitted-when-zero, so device-0 events and span-free traces
+// render exactly as they did before.
 func (e Event) AppendJSON(dst []byte) []byte {
 	dst = append(dst, `{"tick":`...)
 	dst = strconv.AppendUint(dst, uint64(e.Tick), 10)
@@ -145,6 +167,10 @@ func (e Event) AppendJSON(dst []byte) []byte {
 		dst = append(dst, `,"accel":`...)
 		dst = strconv.AppendInt(dst, int64(e.Accel), 10)
 	}
+	if e.Span != 0 {
+		dst = append(dst, `,"span":`...)
+		dst = strconv.AppendUint(dst, e.Span, 10)
+	}
 	if e.Payload != "" {
 		dst = append(dst, `,"payload":`...)
 		dst = strconv.AppendQuote(dst, e.Payload)
@@ -161,7 +187,7 @@ func MsgEvent(tick sim.Time, kind Kind, component string, m *coherence.Msg) Even
 	return Event{
 		Tick: tick, Component: component, Kind: kind,
 		Addr: m.Addr, From: m.Src, To: m.Dst, Msg: m.Type,
-		Payload: msgDetail(m),
+		Span: m.Span, Payload: msgDetail(m),
 	}
 }
 

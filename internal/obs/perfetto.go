@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"crossingguard/internal/coherence"
+)
+
+// Perfetto/Chrome-trace-event export: rendering assembled causal spans
+// (AssembleSpans) as a JSON timeline that loads directly in
+// https://ui.perfetto.dev or chrome://tracing. Each shard becomes one
+// process; within a shard, track 0 is the host and track d+1 is device
+// d's guard. Spans render as nested complete slices (the span outline
+// with its phases inside), causal origins render as flow arrows from the
+// requesting node's track, and violations/quarantines/timeouts/faults
+// render as instant markers. Output is a pure function of the input
+// events, so exports are byte-identical for any campaign worker count.
+
+// ShardTrace is one shard's contribution to a Perfetto export: its
+// dispatch index (the Perfetto process id), a display label, and its
+// captured event stream.
+type ShardTrace struct {
+	// Index is the shard index, used as the Perfetto process id.
+	Index int
+	// Label names the process in the timeline UI ("stress hammer/xg-full/1L seed 3").
+	Label string
+	// Events is the shard's captured trace (trace-ring tail or full stream).
+	Events []Event
+}
+
+// PerfettoOptions configures the export.
+type PerfettoOptions struct {
+	// TrackOf maps a node id onto a display track within its shard's
+	// process: 0 for host-side components, d+1 for accelerator device d.
+	// Nil anchors every flow arrow on the host track (config.TrackOf is
+	// the layout-aware implementation).
+	TrackOf func(coherence.NodeID) int
+}
+
+// perfettoEvent is one trace-event object. Field order is fixed by the
+// struct, and args maps marshal with sorted keys, so rendering is
+// deterministic.
+type perfettoEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WritePerfetto renders the shards as one Chrome-trace-event JSON
+// document (the "traceEvents" array form), one event object per line.
+// Simulated ticks map 1:1 onto trace microseconds.
+func WritePerfetto(w io.Writer, shards []ShardTrace, opt PerfettoOptions) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	pw := &perfettoWriter{bw: bw}
+	for i := range shards {
+		if err := pw.shard(&shards[i], opt); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type perfettoWriter struct {
+	bw *bufio.Writer
+	n  int
+}
+
+func (p *perfettoWriter) emit(e perfettoEvent) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	sep := ",\n"
+	if p.n == 0 {
+		sep = "\n"
+	}
+	p.n++
+	if _, err := p.bw.WriteString(sep); err != nil {
+		return err
+	}
+	_, err = p.bw.Write(b)
+	return err
+}
+
+func (p *perfettoWriter) shard(sh *ShardTrace, opt PerfettoOptions) error {
+	if len(sh.Events) == 0 {
+		return nil
+	}
+	set := AssembleSpans(sh.Events)
+	var maxTick uint64
+	for _, e := range sh.Events {
+		if t := uint64(e.Tick); t > maxTick {
+			maxTick = t
+		}
+	}
+	spans := append(append([]*Span{}, set.Completed...), set.Open...)
+
+	// Collect every track this shard touches so its metadata names them
+	// all, in sorted order.
+	used := map[int]bool{}
+	markTrack := func(t int) {
+		if t >= 0 {
+			used[t] = true
+		}
+	}
+	for _, s := range spans {
+		markTrack(s.Accel + 1)
+		for _, from := range s.From {
+			markTrack(flowTrack(from, opt))
+		}
+	}
+	instants := instantEvents(sh.Events)
+	for _, e := range instants {
+		markTrack(instantTrack(e))
+	}
+
+	if err := p.emit(perfettoEvent{Name: "process_name", Ph: "M", Pid: sh.Index,
+		Args: map[string]any{"name": sh.Label}}); err != nil {
+		return err
+	}
+	for t := 0; len(used) > 0; t++ {
+		if !used[t] {
+			continue
+		}
+		delete(used, t)
+		name := "host"
+		if t > 0 {
+			name = fmt.Sprintf("device %d guard", t-1)
+		}
+		if err := p.emit(perfettoEvent{Name: "thread_name", Ph: "M", Pid: sh.Index, Tid: t,
+			Args: map[string]any{"name": name}}); err != nil {
+			return err
+		}
+	}
+
+	for _, s := range spans {
+		if err := p.span(sh, s, maxTick, opt); err != nil {
+			return err
+		}
+	}
+	for _, e := range instants {
+		args := map[string]any{"component": e.Component}
+		if e.Addr != 0 {
+			args["addr"] = e.Addr.String()
+		}
+		if e.Payload != "" {
+			args["detail"] = e.Payload
+		}
+		if err := p.emit(perfettoEvent{Name: e.Kind.String(), Cat: "xg.mark", Ph: "i",
+			Ts: uint64(e.Tick), Pid: sh.Index, Tid: instantTrack(e), S: "t",
+			Args: args}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// span renders one assembled span: the outer slice, its nested phase
+// slices, and a flow arrow from each recorded causal origin. Open spans
+// (ring-truncated traces) extend to the last tick seen and are labeled
+// "(open)".
+func (p *perfettoWriter) span(sh *ShardTrace, s *Span, maxTick uint64, opt PerfettoOptions) error {
+	end := uint64(s.End)
+	result := s.Result
+	if result == "" && s.End == 0 {
+		end, result = maxTick, "(open)"
+	}
+	tid := s.Accel + 1
+	args := map[string]any{"span": fmt.Sprintf("%x", s.ID), "result": result}
+	if s.Addr != 0 {
+		args["addr"] = s.Addr.String()
+	}
+	if err := p.emit(perfettoEvent{Name: s.Op, Cat: "xg.span", Ph: "X",
+		Ts: uint64(s.Begin), Dur: clampDur(uint64(s.Begin), end),
+		Pid: sh.Index, Tid: tid, Args: args}); err != nil {
+		return err
+	}
+	if len(s.Marks) > 0 {
+		phases := s.Phases()
+		if s.End == 0 {
+			phases[len(phases)-1].End, phases[len(phases)-1].Label = 0, "(open)"
+		}
+		for _, ph := range phases {
+			pend := uint64(ph.End)
+			if ph.End == 0 {
+				pend = maxTick
+			}
+			if err := p.emit(perfettoEvent{Name: ph.Label, Cat: "xg.phase", Ph: "X",
+				Ts: uint64(ph.Start), Dur: clampDur(uint64(ph.Start), pend),
+				Pid: sh.Index, Tid: tid}); err != nil {
+				return err
+			}
+		}
+	}
+	for i, from := range s.From {
+		origin := flowTrack(from, opt)
+		if origin < 0 || origin == tid {
+			continue
+		}
+		id := fmt.Sprintf("s%d.%x.%d", sh.Index, s.ID, i)
+		anchor := perfettoEvent{Name: "→ " + s.Op, Cat: "xg.flow", Ph: "X",
+			Ts: uint64(s.Begin), Dur: 1, Pid: sh.Index, Tid: origin,
+			Args: map[string]any{"from": int64(from), "span": fmt.Sprintf("%x", s.ID)}}
+		if err := p.emit(anchor); err != nil {
+			return err
+		}
+		if err := p.emit(perfettoEvent{Name: "cause", Cat: "xg.flow", Ph: "s",
+			Ts: uint64(s.Begin), Pid: sh.Index, Tid: origin, ID: id}); err != nil {
+			return err
+		}
+		if err := p.emit(perfettoEvent{Name: "cause", Cat: "xg.flow", Ph: "f", BP: "e",
+			Ts: uint64(s.Begin), Pid: sh.Index, Tid: tid, ID: id}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clampDur returns the slice duration, at least 1 so zero-width spans
+// stay visible (and nestable) in the timeline.
+func clampDur(start, end uint64) uint64 {
+	if end <= start {
+		return 1
+	}
+	return end - start
+}
+
+// instantEvents filters the kinds rendered as instant markers.
+func instantEvents(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		switch e.Kind {
+		case KindViolation, KindQuarantine, KindTimeout, KindFault:
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// instantTrack places guard-emitted markers (quarantine, timeout) on the
+// owning device's track and fabric/host markers (violation, fault) on
+// the host track.
+func instantTrack(e Event) int {
+	switch e.Kind {
+	case KindQuarantine, KindTimeout:
+		return e.Accel + 1
+	default:
+		return 0
+	}
+}
+
+// flowTrack maps a causal-origin node onto its track, -1 for none.
+func flowTrack(from coherence.NodeID, opt PerfettoOptions) int {
+	if from == 0 || from == coherence.NodeNone {
+		return -1
+	}
+	if opt.TrackOf == nil {
+		return 0
+	}
+	return opt.TrackOf(from)
+}

@@ -18,9 +18,12 @@ type GaugeSnapshot struct {
 type HistSnapshot struct {
 	// N is the observation count.
 	N int `json:"n"`
-	// Mean, P50, P95, P99, Min, and Max summarize the distribution.
+	// Mean, P50, P90, P95, P99, Min, and Max summarize the distribution.
+	// P90 is additive: metrics files written before it existed parse
+	// with P90 = 0.
 	Mean float64 `json:"mean"`
 	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
 	P95  float64 `json:"p95"`
 	P99  float64 `json:"p99"`
 	Min  float64 `json:"min"`
@@ -59,7 +62,7 @@ func (r *Registry) Snapshot() Snapshot {
 		sm := h.Sample()
 		s.Histograms[name] = HistSnapshot{
 			N: sm.N(), Mean: sm.Mean(),
-			P50: sm.P50(), P95: sm.P95(), P99: sm.P99(),
+			P50: sm.P50(), P90: sm.P90(), P95: sm.P95(), P99: sm.P99(),
 			Min: sm.Min(), Max: sm.Max(),
 		}
 	}

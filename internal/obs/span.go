@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"fmt"
+
+	"crossingguard/internal/coherence"
+	"crossingguard/internal/mem"
+	"crossingguard/internal/sim"
+)
+
+// Span assembly: folding a trace-event stream back into the completed
+// causal spans the guard emitted it from (core.Config.Spans). A span is
+// one guard transaction — an accelerator crossing, a host-initiated
+// recall, or a recovery cycle — bracketed by KindSpanBegin/KindSpanEnd
+// and subdivided by KindSpanPhase marks. The assembler is a pure
+// function of the event slice, so its output is deterministic for any
+// worker count, and it is shared by the Perfetto exporter, the
+// span-balance tests, and the internal/tools/spanlint CI gate.
+
+// PhaseMark is one boundary inside a span: a KindSpanPhase event's tick
+// and the name of the phase that ended there.
+type PhaseMark struct {
+	Tick  sim.Time
+	Label string
+}
+
+// Phase is one derived span segment with its bounding ticks.
+type Phase struct {
+	Label      string
+	Start, End sim.Time
+}
+
+// Span is one completed causal span assembled from the event stream.
+type Span struct {
+	// ID is the span id (guard-node<<32|sequence).
+	ID uint64
+	// Component names the emitting guard; Accel is its device index.
+	Component string
+	Accel     int
+	// Addr is the cache line the span's begin event named (0 for
+	// recovery spans, which cover the whole device).
+	Addr mem.Addr
+	// Begin and End bound the span in simulated ticks.
+	Begin, End sim.Time
+	// Op is the begin payload ("crossing A:GetM", "recall M",
+	// "recovery 1/3"); Result is the end payload ("grant M", "timeout",
+	// "reintegrated epoch 1").
+	Op, Result string
+	// Marks are the span's interior phase boundaries in emission order.
+	Marks []PhaseMark
+	// From lists the host nodes recorded as causal origins (the begin
+	// event's requestor plus one entry per coalesced waiter); the
+	// Perfetto exporter draws flow arrows from them.
+	From []coherence.NodeID
+}
+
+// Phases derives the span's contiguous segments: each interior mark
+// closes the segment that started at the previous boundary, and the end
+// event closes the last one under the span's result label. A span with
+// no marks is a single segment.
+func (s *Span) Phases() []Phase {
+	out := make([]Phase, 0, len(s.Marks)+1)
+	start := s.Begin
+	for _, m := range s.Marks {
+		out = append(out, Phase{Label: m.Label, Start: start, End: m.Tick})
+		start = m.Tick
+	}
+	out = append(out, Phase{Label: s.Result, Start: start, End: s.End})
+	return out
+}
+
+// SpanSet is the result of assembling an event stream.
+type SpanSet struct {
+	// Completed holds every balanced span in end-event order.
+	Completed []*Span
+	// Open holds spans whose begin was seen but whose end was not (in
+	// begin order) — a balance violation on a complete trace, expected
+	// only when a ring buffer truncated the tail.
+	Open []*Span
+	// OrphanEnds counts span-end events with no matching begin in the
+	// window (the begin fell off the front of a ring buffer).
+	OrphanEnds int
+	// OrphanPhases counts span-phase events with no open span.
+	OrphanPhases int
+	// DupBegins counts span-begin events reusing a live span id.
+	DupBegins int
+}
+
+// AssembleSpans folds an event stream into completed spans. Events of
+// kinds other than span-begin/span-phase/span-end are ignored, so the
+// full mixed trace of a run can be passed directly.
+func AssembleSpans(events []Event) SpanSet {
+	var set SpanSet
+	open := make(map[uint64]*Span)
+	for _, e := range events {
+		switch e.Kind {
+		case KindSpanBegin:
+			if _, live := open[e.Span]; live {
+				set.DupBegins++
+				continue
+			}
+			s := &Span{
+				ID: e.Span, Component: e.Component, Accel: e.Accel,
+				Addr: e.Addr, Begin: e.Tick, Op: e.Payload,
+			}
+			if e.From != 0 {
+				s.From = append(s.From, e.From)
+			}
+			open[e.Span] = s
+			set.Open = append(set.Open, s)
+		case KindSpanPhase:
+			s, live := open[e.Span]
+			if !live {
+				set.OrphanPhases++
+				continue
+			}
+			s.Marks = append(s.Marks, PhaseMark{Tick: e.Tick, Label: e.Payload})
+			if e.From != 0 {
+				s.From = append(s.From, e.From)
+			}
+		case KindSpanEnd:
+			s, live := open[e.Span]
+			if !live {
+				set.OrphanEnds++
+				continue
+			}
+			s.End = e.Tick
+			s.Result = e.Payload
+			delete(open, e.Span)
+			set.Completed = append(set.Completed, s)
+		}
+	}
+	// Filter the begin-ordered slice down to the spans still open.
+	stillOpen := set.Open[:0]
+	for _, s := range set.Open {
+		if _, live := open[s.ID]; live {
+			stillOpen = append(stillOpen, s)
+		}
+	}
+	set.Open = stillOpen
+	return set
+}
+
+// SpanBalance verifies the span invariant on a complete (untruncated)
+// trace: every span-begin has exactly one matching span-end, no end or
+// phase event dangles, and no id is reused while live. It returns nil
+// when balanced and a diagnostic error otherwise.
+func SpanBalance(events []Event) error {
+	set := AssembleSpans(events)
+	if len(set.Open) == 0 && set.OrphanEnds == 0 && set.OrphanPhases == 0 && set.DupBegins == 0 {
+		return nil
+	}
+	detail := fmt.Sprintf("%d spans never ended, %d orphan ends, %d orphan phases, %d duplicate begins",
+		len(set.Open), set.OrphanEnds, set.OrphanPhases, set.DupBegins)
+	if len(set.Open) > 0 {
+		s := set.Open[0]
+		detail += fmt.Sprintf(" (first open: span %x %q begun at tick %d by %s)",
+			s.ID, s.Op, uint64(s.Begin), s.Component)
+	}
+	return fmt.Errorf("span balance violated: %s", detail)
+}

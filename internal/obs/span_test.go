@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crossingguard/internal/sim"
+)
+
+func spanEv(kind Kind, tick sim.Time, span uint64, payload string) Event {
+	return Event{Tick: tick, Component: "xg0", Kind: kind, Span: span, Payload: payload}
+}
+
+func TestAssembleSpans(t *testing.T) {
+	events := []Event{
+		spanEv(KindSpanBegin, 10, 1, "crossing A:GetM"),
+		spanEv(KindSend, 11, 1, "noise"), // non-span kinds pass through untouched
+		spanEv(KindSpanPhase, 20, 1, "check"),
+		spanEv(KindSpanBegin, 15, 2, "recall M"),
+		spanEv(KindSpanEnd, 40, 1, "grant M"),
+		spanEv(KindSpanEnd, 50, 2, "response"),
+		spanEv(KindSpanBegin, 60, 3, "crossing A:GetS"), // never ends
+	}
+	events[0].From = 7
+	set := AssembleSpans(events)
+	if len(set.Completed) != 2 || len(set.Open) != 1 {
+		t.Fatalf("got %d completed, %d open; want 2, 1", len(set.Completed), len(set.Open))
+	}
+	// Completed spans arrive in end order, not begin order.
+	if set.Completed[0].ID != 1 || set.Completed[1].ID != 2 {
+		t.Fatalf("completion order = %x, %x; want 1, 2", set.Completed[0].ID, set.Completed[1].ID)
+	}
+	s := set.Completed[0]
+	if s.Op != "crossing A:GetM" || s.Result != "grant M" || s.Begin != 10 || s.End != 40 {
+		t.Fatalf("span 1 assembled wrong: %+v", s)
+	}
+	if len(s.From) != 1 || s.From[0] != 7 {
+		t.Fatalf("span 1 causal origins = %v, want [7]", s.From)
+	}
+	// The interior mark splits the span into two segments; the last takes
+	// the result label.
+	phases := s.Phases()
+	if len(phases) != 2 || phases[0] != (Phase{Label: "check", Start: 10, End: 20}) ||
+		phases[1] != (Phase{Label: "grant M", Start: 20, End: 40}) {
+		t.Fatalf("span 1 phases = %+v", phases)
+	}
+	if set.Open[0].ID != 3 {
+		t.Fatalf("open span = %x, want 3", set.Open[0].ID)
+	}
+}
+
+func TestAssembleSpansAnomalies(t *testing.T) {
+	events := []Event{
+		spanEv(KindSpanEnd, 5, 9, "grant"),     // end with no begin
+		spanEv(KindSpanPhase, 6, 9, "check"),   // phase with no open span
+		spanEv(KindSpanBegin, 10, 4, "recall"), // live id...
+		spanEv(KindSpanBegin, 11, 4, "recall"), // ...reused while open
+		spanEv(KindSpanEnd, 20, 4, "response"),
+	}
+	set := AssembleSpans(events)
+	if set.OrphanEnds != 1 || set.OrphanPhases != 1 || set.DupBegins != 1 {
+		t.Fatalf("anomaly counts = %d/%d/%d, want 1/1/1",
+			set.OrphanEnds, set.OrphanPhases, set.DupBegins)
+	}
+	if len(set.Completed) != 1 || len(set.Open) != 0 {
+		t.Fatalf("got %d completed, %d open; want 1, 0", len(set.Completed), len(set.Open))
+	}
+}
+
+func TestSpanBalance(t *testing.T) {
+	balanced := []Event{
+		spanEv(KindSpanBegin, 1, 1, "crossing"),
+		spanEv(KindSpanPhase, 2, 1, "check"),
+		spanEv(KindSpanEnd, 3, 1, "grant"),
+	}
+	if err := SpanBalance(balanced); err != nil {
+		t.Fatalf("balanced stream flagged: %v", err)
+	}
+	unbalanced := append(balanced, spanEv(KindSpanBegin, 4, 2, "recall S"))
+	err := SpanBalance(unbalanced)
+	if err == nil {
+		t.Fatal("dangling begin not flagged")
+	}
+	// The diagnostic names the first open span so the failure is actionable.
+	if !strings.Contains(err.Error(), "recall S") || !strings.Contains(err.Error(), "xg0") {
+		t.Fatalf("diagnostic does not identify the open span: %v", err)
+	}
+}
+
+// TestWritePerfettoDeterministic pins the exporter's determinism
+// contract: the same shard traces produce byte-identical JSON, and the
+// output is well-formed (parses, flows paired, metadata present).
+func TestWritePerfettoDeterministic(t *testing.T) {
+	events := []Event{
+		spanEv(KindSpanBegin, 10, 1, "crossing A:GetM"),
+		spanEv(KindSpanPhase, 20, 1, "check"),
+		spanEv(KindSpanEnd, 40, 1, "grant M"),
+		spanEv(KindSpanBegin, 50, 2, "recall M"),
+		spanEv(KindSpanEnd, 90, 2, "response"),
+		{Tick: 95, Component: "xg0", Kind: KindQuarantine, Payload: "budget"},
+	}
+	events[0].From = 7
+	shards := []ShardTrace{
+		{Index: 0, Label: "stress hammer seed 1", Events: events},
+		{Index: 3, Label: "empty shard"}, // no events: skipped entirely
+	}
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, shards, PerfettoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, shards, PerfettoOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same traces differ")
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+			Name string `json:"name"`
+			ID   string `json:"id"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	spans, flowS, flowF, meta, instants := 0, 0, 0, 0, 0
+	for _, e := range doc.TraceEvents {
+		if e.Pid != 0 {
+			t.Fatalf("event on pid %d; the only non-empty shard is index 0", e.Pid)
+		}
+		switch {
+		case e.Ph == "X" && e.Cat == "xg.span":
+			spans++
+		case e.Ph == "s":
+			flowS++
+		case e.Ph == "f":
+			flowF++
+		case e.Ph == "M":
+			meta++
+		case e.Ph == "i":
+			instants++
+		}
+	}
+	if spans != 2 {
+		t.Errorf("got %d span slices, want 2", spans)
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Errorf("flow arrows start/finish = %d/%d, want 1/1 (span 1 has one host origin)", flowS, flowF)
+	}
+	if meta == 0 {
+		t.Error("no process/thread metadata emitted")
+	}
+	if instants != 1 {
+		t.Errorf("got %d instants, want 1 (the quarantine mark)", instants)
+	}
+}
+
+// TestQuantilesMergeOrderInvariant is the shard-merge determinism
+// property the anatomy table relies on: histogram quantiles are a pure
+// function of the sample multiset, so folding the same per-shard
+// registries together in any order yields identical P50/P90/P95/P99 and
+// extrema.
+func TestQuantilesMergeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shards := make([]*Registry, 6)
+	for i := range shards {
+		shards[i] = NewRegistry()
+		h := shards[i].Histogram("xg.span.grant.ticks")
+		for j := 0; j < 40+rng.Intn(60); j++ {
+			h.Observe(float64(rng.Intn(500)))
+		}
+	}
+	merge := func(order []int) HistSnapshot {
+		m := NewRegistry()
+		for _, i := range order {
+			m.Merge(shards[i])
+		}
+		return m.Snapshot().Histograms["xg.span.grant.ticks"]
+	}
+	base := merge([]int{0, 1, 2, 3, 4, 5})
+	for _, order := range [][]int{
+		{5, 4, 3, 2, 1, 0},
+		{2, 0, 5, 1, 4, 3},
+		{3, 5, 1, 0, 2, 4},
+	} {
+		got := merge(order)
+		if got.N != base.N || got.P50 != base.P50 || got.P90 != base.P90 ||
+			got.P95 != base.P95 || got.P99 != base.P99 ||
+			got.Min != base.Min || got.Max != base.Max {
+			t.Fatalf("merge order %v changed quantiles: %+v vs %+v", order, got, base)
+		}
+	}
+	// And the full snapshot of a fixed merge order is stable run to run.
+	var x, y bytes.Buffer
+	m1, m2 := NewRegistry(), NewRegistry()
+	for _, s := range shards {
+		m1.Merge(s)
+		m2.Merge(s)
+	}
+	if err := m1.WriteJSON(&x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.WriteJSON(&y); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x.Bytes(), y.Bytes()) {
+		t.Fatal("identical merges produced different snapshot JSON")
+	}
+}

@@ -108,8 +108,11 @@ func (s *Sample) Quantile(q float64) float64 {
 	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
 }
 
-// P50, P95, P99 are the usual latency quantiles.
+// P50, P90, P95, P99 are the usual latency quantiles.
 func (s *Sample) P50() float64 { return s.Quantile(0.50) }
+
+// P90 returns the 90th percentile.
+func (s *Sample) P90() float64 { return s.Quantile(0.90) }
 
 // P95 returns the 95th percentile.
 func (s *Sample) P95() float64 { return s.Quantile(0.95) }
